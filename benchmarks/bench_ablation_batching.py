@@ -1,0 +1,63 @@
+"""E5 — ablation: batched LM inference vs TAG execution time.
+
+The paper attributes hand-written TAG's low ET to "exploiting efficient
+batched inference of LMs" (§4.3, up to 3.1x lower ET than baselines).
+This ablation sweeps the semantic-operator batch size and reports the
+simulated ET of the hand-written TAG method over the 20 comparison
+queries (the most judgment-heavy type).
+"""
+
+import pytest
+
+from repro.bench.runner import run_benchmark
+from repro.lm import LMConfig, SimulatedLM
+from repro.methods import HandwrittenTAGMethod
+
+from benchmarks.conftest import write_artifact
+
+BATCH_SIZES = (1, 4, 16, 64)
+
+
+def _tag_et(batch_size: int, suite, datasets) -> float:
+    queries = [s for s in suite if s.query_type == "comparison"]
+    method = HandwrittenTAGMethod(
+        SimulatedLM(LMConfig(seed=0)), batch_size=batch_size
+    )
+    report = run_benchmark(
+        seed=0, methods=[method], queries=queries, datasets=datasets
+    )
+    return report.mean_et("Hand-written TAG")
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batching_ablation(benchmark, batch_size, suite, datasets):
+    et = benchmark.pedantic(
+        lambda: _tag_et(batch_size, suite, datasets),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nbatch_size={batch_size}: mean ET {et:.2f}s")
+
+
+def test_batching_monotone_speedup(benchmark, suite, datasets):
+    ets = benchmark.pedantic(
+        lambda: {
+            batch_size: _tag_et(batch_size, suite, datasets)
+            for batch_size in BATCH_SIZES
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["TAG mean ET (comparison queries) vs operator batch size:"]
+    lines += [
+        f"  batch={batch_size:3d}  ET={et:6.2f}s"
+        for batch_size, et in ets.items()
+    ]
+    speedup = ets[1] / ets[64]
+    lines.append(f"  sequential/batched speedup: {speedup:.1f}x")
+    write_artifact("ablation_batching.txt", "\n".join(lines))
+
+    assert ets[1] > ets[4] > ets[16] >= ets[64]
+    # The paper's headline speedup is ~3.1x; batching alone contributes
+    # a comparable factor here.
+    assert speedup >= 2.0

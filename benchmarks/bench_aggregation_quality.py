@@ -1,0 +1,83 @@
+"""E12 — quantitative aggregation evaluation (the paper's future work).
+
+The paper scores its 20 aggregation queries qualitatively and leaves
+"quantitative analysis to future work" (§4.3).  This benchmark supplies
+it: per-method mean *entity coverage* (completeness, Figure 2 made a
+number) and *numeric faithfulness* (no hallucinated figures) over all
+20 aggregation queries, using the per-query oracles on the specs.
+"""
+
+from repro.bench.agg_quality import (
+    entity_coverage,
+    numeric_faithfulness,
+    source_numbers,
+)
+
+from benchmarks.conftest import write_artifact
+
+TAG = "Hand-written TAG"
+GENERATIVE_METHODS = ["RAG", "Retrieval + LM Rank", "Text2SQL + LM", TAG]
+
+
+def _score(full_report, suite, datasets):
+    by_qid = {
+        spec.qid: spec
+        for spec in suite
+        if spec.query_type == "aggregation"
+    }
+    datasets_by_name = datasets
+    scores: dict[str, dict[str, list[float]]] = {
+        method: {"coverage": [], "faithfulness": []}
+        for method in GENERATIVE_METHODS
+    }
+    for record in full_report.records:
+        if record.qid not in by_qid:
+            continue
+        if record.method not in scores:
+            continue
+        spec = by_qid[record.qid]
+        dataset = datasets_by_name[spec.domain]
+        answer = str(record.answer)
+        entities = spec.agg_entities(dataset)
+        sources = source_numbers(spec.agg_source(dataset))
+        scores[record.method]["coverage"].append(
+            entity_coverage(answer, entities)
+        )
+        scores[record.method]["faithfulness"].append(
+            numeric_faithfulness(answer, sources)
+        )
+    return {
+        method: {
+            metric: sum(values) / len(values)
+            for metric, values in metrics.items()
+        }
+        for method, metrics in scores.items()
+    }
+
+
+def test_aggregation_quality(benchmark, full_report, suite, datasets):
+    means = benchmark.pedantic(
+        lambda: _score(full_report, suite, datasets),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Quantitative aggregation quality over all 20 aggregation "
+        "queries:",
+    ]
+    for method, metrics in means.items():
+        lines.append(
+            f"  {method:20s} coverage={metrics['coverage']:.2f} "
+            f"faithfulness={metrics['faithfulness']:.2f}"
+        )
+    write_artifact("aggregation_quality.txt", "\n".join(lines))
+
+    # TAG's answers are both the most complete and grounded in the
+    # actual rows — the quantitative version of the Figure 2 claim.
+    for method in GENERATIVE_METHODS:
+        if method == TAG:
+            continue
+        assert means[TAG]["coverage"] >= means[method]["coverage"]
+    assert means[TAG]["coverage"] >= 0.5
+    assert means[TAG]["faithfulness"] >= 0.9
+    assert means[TAG]["coverage"] - means["RAG"]["coverage"] >= 0.3

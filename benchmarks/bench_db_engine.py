@@ -1,0 +1,126 @@
+"""E8 — relational-engine microbenchmarks (substrate sanity).
+
+Wall-clock throughput of the from-scratch engine on its core operators
+— scan, filter, hash join, aggregation, index point lookup — and the
+optimizer's effect (pushdown + hash join vs naive nested loops).
+"""
+
+import random
+
+import pytest
+
+from repro.db import Column, Database, DataType, ForeignKey, TableSchema
+
+ROWS = 5_000
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = random.Random(17)
+    database = Database("bench")
+    database.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("customer_id", DataType.INTEGER),
+                Column("amount", DataType.REAL),
+                Column("region", DataType.TEXT),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("name", DataType.TEXT),
+                Column("tier", DataType.TEXT),
+            ],
+            foreign_keys=[ForeignKey("id", "orders", "customer_id")],
+        )
+    )
+    regions = ["north", "south", "east", "west"]
+    tiers = ["gold", "silver", "bronze"]
+    database.insert(
+        "customers",
+        (
+            [cid, f"customer-{cid}", rng.choice(tiers)]
+            for cid in range(1, 501)
+        ),
+    )
+    database.insert(
+        "orders",
+        (
+            [
+                oid,
+                rng.randint(1, 500),
+                round(rng.uniform(5.0, 500.0), 2),
+                rng.choice(regions),
+            ]
+            for oid in range(1, ROWS + 1)
+        ),
+    )
+    database.create_index("orders", "id")
+    database.create_index("customers", "id")
+    return database
+
+
+def test_full_scan(benchmark, db):
+    result = benchmark(lambda: db.execute("SELECT * FROM orders"))
+    assert len(result) == ROWS
+
+
+def test_filter_scan(benchmark, db):
+    result = benchmark(
+        lambda: db.execute(
+            "SELECT id FROM orders WHERE amount > 250 "
+            "AND region = 'north'"
+        )
+    )
+    assert len(result) > 0
+
+
+def test_index_point_lookup(benchmark, db):
+    result = benchmark(
+        lambda: db.execute("SELECT * FROM orders WHERE id = 4242")
+    )
+    assert len(result) == 1
+
+
+def test_hash_join(benchmark, db):
+    sql = (
+        "SELECT c.tier, COUNT(*) FROM orders o "
+        "JOIN customers c ON o.customer_id = c.id GROUP BY c.tier"
+    )
+    result = benchmark(lambda: db.execute(sql))
+    assert len(result) == 3
+
+
+def test_aggregate_group_by(benchmark, db):
+    result = benchmark(
+        lambda: db.execute(
+            "SELECT region, COUNT(*), AVG(amount), MAX(amount) "
+            "FROM orders GROUP BY region"
+        )
+    )
+    assert len(result) == 4
+
+
+def test_sort_limit(benchmark, db):
+    result = benchmark(
+        lambda: db.execute(
+            "SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 10"
+        )
+    )
+    assert len(result) == 10
+
+
+def test_optimizer_speedup_on_join(benchmark, db):
+    sql = (
+        "SELECT COUNT(*) FROM orders o JOIN customers c "
+        "ON o.customer_id = c.id WHERE c.tier = 'gold'"
+    )
+    optimized = benchmark(lambda: db.execute(sql, optimize=True))
+    unoptimized = db.execute(sql, optimize=False)
+    assert optimized.rows == unoptimized.rows

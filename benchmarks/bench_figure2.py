@@ -1,0 +1,65 @@
+"""E3 — regenerate the paper's Figure 2.
+
+The qualitative aggregation comparison on "Provide information about
+the races held on Sepang International Circuit": RAG answers from a few
+retrieved rows (incomplete), Text2SQL+LM overflows its context and
+falls back to parametric knowledge, hand-written TAG enumerates all 19
+seasons.  The timed body runs the three methods on the query; the
+assertions encode the completeness ordering Figure 2 illustrates.
+"""
+
+from repro.bench.suite import build_suite
+from repro.bench.suites.aggregation import SEPANG_QUESTION
+from repro.data import load_domain
+from repro.lm import LMConfig, SimulatedLM
+from repro.methods import (
+    HandwrittenTAGMethod,
+    RAGMethod,
+    Text2SQLLMMethod,
+)
+
+from benchmarks.conftest import write_artifact
+
+
+def _coverage(answer: str) -> int:
+    return sum(1 for year in range(1999, 2018) if str(year) in answer)
+
+
+def _run_figure2():
+    dataset = load_domain("formula_1", seed=0)
+    spec = next(
+        s for s in build_suite() if s.question == SEPANG_QUESTION
+    )
+    outcomes = {}
+    for method in (
+        RAGMethod(SimulatedLM(LMConfig(seed=0))),
+        Text2SQLLMMethod(SimulatedLM(LMConfig(seed=0))),
+        HandwrittenTAGMethod(SimulatedLM(LMConfig(seed=0))),
+    ):
+        method.prepare(dataset)
+        outcomes[method.name] = method.answer(spec, dataset)
+    return outcomes
+
+
+def test_figure2(benchmark):
+    outcomes = benchmark.pedantic(_run_figure2, rounds=1, iterations=1)
+
+    lines = [f"Figure 2 query: {SEPANG_QUESTION}", ""]
+    for name, result in outcomes.items():
+        answer = str(result.answer)
+        lines.append(
+            f"=== {name} (ET {result.et_seconds:.2f}s, "
+            f"coverage {_coverage(answer)}/19) ==="
+        )
+        lines.append(answer)
+        lines.append("")
+    write_artifact("figure2.txt", "\n".join(lines))
+
+    rag = str(outcomes["RAG"].answer)
+    t2slm = str(outcomes["Text2SQL + LM"].answer)
+    tag = str(outcomes["Hand-written TAG"].answer)
+    assert _coverage(tag) == 19
+    assert _coverage(rag) < 10
+    assert _coverage(tag) > _coverage(rag)
+    assert "general knowledge" in t2slm  # parametric-only answer
+    assert outcomes["Text2SQL + LM"].diagnostics["context_errors"] >= 1

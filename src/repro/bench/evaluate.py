@@ -1,0 +1,99 @@
+"""Exact-match evaluation.
+
+The paper measures "accuracy as the percentage of exact matches as
+compared to the labeled correct answer" for match-based, comparison,
+and ranking queries.  Method outputs arrive either as Python values
+(hand-written TAG) or as LM text in the ``[value1, ...]`` format the
+answer-generation prompt mandates; both are normalised to a list of
+canonical values before comparison.  Ranking answers are order-
+sensitive; other types are compared as multisets.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Any
+
+
+def normalize_answer(answer: Any) -> list[Any] | None:
+    """Normalise any method output to a list of canonical values.
+
+    Returns None when the answer is unparseable (counted incorrect).
+    """
+    if answer is None:
+        return None
+    if isinstance(answer, str):
+        parsed = _parse_list_text(answer)
+        if parsed is None:
+            return None
+        return [_canonical(value) for value in parsed]
+    if isinstance(answer, (list, tuple)):
+        return [_canonical(value) for value in answer]
+    return [_canonical(answer)]
+
+
+def _parse_list_text(text: str) -> list[Any] | None:
+    stripped = text.strip()
+    if not stripped.startswith("["):
+        return None
+    try:
+        value = ast.literal_eval(stripped)
+    except (ValueError, SyntaxError):
+        return None
+    if not isinstance(value, list):
+        return None
+    return value
+
+
+def _canonical(value: Any) -> Any:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        text = value.strip()
+        # Numeric strings compare as numbers ("560" == 560); "nan"/
+        # "inf" spellings stay text (NaN would break reflexivity).
+        try:
+            number = float(text)
+        except ValueError:
+            return text
+        if math.isnan(number) or math.isinf(number):
+            return text
+        if number.is_integer():
+            return int(number)
+        return number
+    return value
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return math.isclose(float(left), float(right), abs_tol=1e-6)
+    return left == right
+
+
+def exact_match(
+    predicted: Any, gold: list[Any], ordered: bool = False
+) -> bool:
+    """Whether a method's answer exactly matches the gold list."""
+    normalized = normalize_answer(predicted)
+    gold_normalized = [_canonical(value) for value in gold]
+    if normalized is None:
+        return False
+    if len(normalized) != len(gold_normalized):
+        return False
+    if ordered:
+        return all(
+            _values_equal(left, right)
+            for left, right in zip(normalized, gold_normalized)
+        )
+    remaining = list(gold_normalized)
+    for value in normalized:
+        for position, candidate in enumerate(remaining):
+            if _values_equal(value, candidate):
+                del remaining[position]
+                break
+        else:
+            return False
+    return not remaining

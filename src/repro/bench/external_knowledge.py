@@ -1,0 +1,79 @@
+"""Oracle External-Knowledge strings, mirroring BIRD's evidence field.
+
+BIRD ships each question with a human-written "evidence" hint; the
+paper's prompt format carries it in the ``-- External Knowledge:``
+line (Appendix B.1, "None" in their runs).  This module generates the
+equivalent *oracle* hints from the canonical fact store, for the
+ablation that asks: how much of Text2SQL's failure on knowledge queries
+is missing knowledge (fixable by evidence) versus missing reasoning
+(not fixable)?
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.bench import oracle
+
+_REGION_RE = re.compile(
+    r"silicon valley|bay area|southern california|central valley",
+    re.IGNORECASE,
+)
+_PERSON_RE = re.compile(
+    r"(?:taller|shorter) than ([A-Z][A-Za-z.'-]*(?: [A-Z][A-Za-z.'-]*)*)"
+)
+
+
+def oracle_external_knowledge(question: str) -> str | None:
+    """Hint sentences covering the knowledge the question needs.
+
+    Returns None when the question needs no world knowledge (the
+    synthesizer then behaves exactly as without evidence).
+    """
+    hints: list[str] = []
+    region_match = _REGION_RE.search(question)
+    if region_match is not None:
+        region = region_match.group(0).lower()
+        cities = sorted(oracle.cities_in_region(region))
+        if cities:
+            hints.append(
+                f"The {region} cities are: {', '.join(cities)}."
+            )
+    for person in _PERSON_RE.findall(question):
+        cleaned = person.strip().rstrip("?.")
+        try:
+            height = oracle.person_height(cleaned)
+        except ValueError:
+            continue
+        hints.append(f"{cleaned} is {height:g} cm tall.")
+    if re.search(r"use the euro|eurozone", question, re.IGNORECASE):
+        hints.append(
+            "Countries that use the Euro: "
+            + ", ".join(sorted(oracle.euro_countries()))
+            + "."
+        )
+    if re.search(r"european union|\bEU\b", question, re.IGNORECASE):
+        hints.append(
+            "Countries in the European Union: "
+            + ", ".join(sorted(oracle.eu_countries()))
+            + "."
+        )
+    if re.search(r"street circuit", question, re.IGNORECASE):
+        hints.append(
+            "The street circuits are: "
+            + ", ".join(sorted(oracle.street_circuits()))
+            + "."
+        )
+    if re.search(r"southeast asia", question, re.IGNORECASE):
+        hints.append(
+            "Circuits in Southeast Asia: "
+            + ", ".join(sorted(oracle.circuits_in_region("southeast asia")))
+            + "."
+        )
+    if re.search(r"united kingdom|\bUK\b", question, re.IGNORECASE):
+        hints.append(
+            "Leagues in the United Kingdom: "
+            + ", ".join(sorted(oracle.uk_leagues()))
+            + "."
+        )
+    return " ".join(hints) if hints else None

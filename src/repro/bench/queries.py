@@ -1,0 +1,79 @@
+"""Benchmark query specification types."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.base import Dataset
+from repro.errors import BenchmarkError
+from repro.lm import SimulatedLM
+from repro.semantic import SemanticOperators
+
+QUERY_TYPES = ("match", "comparison", "ranking", "aggregation")
+CAPABILITIES = ("knowledge", "reasoning")
+
+
+@dataclass
+class PipelineContext:
+    """What a hand-written TAG pipeline may use: the dataset's frames
+    and the semantic operators (i.e. the LM).  Pipelines encode expert
+    knowledge of the *schema* — never of the answers."""
+
+    dataset: Dataset
+    ops: SemanticOperators
+    lm: SimulatedLM
+
+    def frame(self, table: str):
+        return self.dataset.frame(table)
+
+
+@dataclass
+class QuerySpec:
+    """One benchmark query.
+
+    ``gold`` computes the labeled answer from the dataset and the
+    *oracle* knowledge/text scorers (standing in for the paper's human
+    labels); it is ``None`` for aggregation queries, whose quality the
+    paper analyses qualitatively.  ``pipeline`` is the hand-written TAG
+    program for the query, mirroring the paper's Appendix C.
+
+    Aggregation queries instead carry quantitative-quality oracles
+    (the "future work" the paper defers, see
+    :mod:`repro.bench.agg_quality`): ``agg_entities`` lists what a
+    complete answer must mention; ``agg_source`` returns the rows whose
+    values ground the answer's numeric claims.
+    """
+
+    qid: str
+    domain: str
+    query_type: str
+    capability: str
+    question: str
+    gold: Callable[[Dataset], list[Any]] | None
+    pipeline: Callable[[PipelineContext], Any]
+    agg_entities: Callable[[Dataset], list[str]] | None = None
+    agg_source: Callable[[Dataset], list[dict]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.query_type not in QUERY_TYPES:
+            raise BenchmarkError(
+                f"{self.qid}: bad query type {self.query_type!r}"
+            )
+        if self.capability not in CAPABILITIES:
+            raise BenchmarkError(
+                f"{self.qid}: bad capability {self.capability!r}"
+            )
+        if self.query_type == "aggregation":
+            if self.gold is not None:
+                raise BenchmarkError(
+                    f"{self.qid}: aggregation queries have no exact gold"
+                )
+            if self.agg_entities is None or self.agg_source is None:
+                raise BenchmarkError(
+                    f"{self.qid}: aggregation queries need "
+                    "agg_entities and agg_source oracles"
+                )
+        elif self.gold is None:
+            raise BenchmarkError(f"{self.qid}: gold function required")

@@ -1,0 +1,119 @@
+"""Render benchmark reports in the paper's table formats."""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchmarkReport
+
+_TYPE_COLUMNS = [
+    ("Overall", None),
+    ("Match-based", "match"),
+    ("Comparison", "comparison"),
+    ("Ranking", "ranking"),
+    ("Aggregation", "aggregation"),
+]
+_CAPABILITY_COLUMNS = [
+    ("Knowledge", "knowledge"),
+    ("Reasoning", "reasoning"),
+]
+
+
+def _format_accuracy(value: float | None) -> str:
+    return "N/A" if value is None else f"{value:.2f}"
+
+
+def _format_et(value: float | None) -> str:
+    return "N/A" if value is None else f"{value:.2f}"
+
+
+def table1_rows(report: BenchmarkReport) -> list[dict[str, object]]:
+    """Table 1 data: per method, exact match + ET for each query type.
+
+    "Overall" excludes aggregation from exact match (the paper's
+    footnote) but includes it in ET.
+    """
+    rows = []
+    for method in report.methods:
+        row: dict[str, object] = {"method": method}
+        for label, query_type in _TYPE_COLUMNS:
+            row[f"{label} EM"] = report.accuracy(
+                method, query_type=query_type
+            )
+            row[f"{label} ET"] = report.mean_et(
+                method, query_type=query_type
+            )
+        rows.append(row)
+    return rows
+
+
+def table2_rows(report: BenchmarkReport) -> list[dict[str, object]]:
+    """Table 2 data: per method, exact match + ET by capability."""
+    rows = []
+    for method in report.methods:
+        row: dict[str, object] = {"method": method}
+        for label, capability in _CAPABILITY_COLUMNS:
+            row[f"{label} EM"] = report.accuracy(
+                method, capability=capability
+            )
+            row[f"{label} ET"] = report.mean_et(
+                method, capability=capability
+            )
+        rows.append(row)
+    return rows
+
+
+def _render(
+    title: str,
+    rows: list[dict[str, object]],
+    columns: list[str],
+) -> str:
+    header = ["Method"] + columns
+    table: list[list[str]] = [header]
+    for row in rows:
+        rendered = [str(row["method"])]
+        for column in columns:
+            value = row[column]
+            if column.endswith("EM"):
+                rendered.append(_format_accuracy(value))  # type: ignore[arg-type]
+            else:
+                rendered.append(_format_et(value))  # type: ignore[arg-type]
+        table.append(rendered)
+    widths = [
+        max(len(line[position]) for line in table)
+        for position in range(len(header))
+    ]
+    lines = [title]
+    for line_number, line in enumerate(table):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(line, widths)
+            )
+        )
+        if line_number == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_table1(report: BenchmarkReport) -> str:
+    """Render Table 1 as aligned text."""
+    columns = []
+    for label, _ in _TYPE_COLUMNS:
+        columns.append(f"{label} EM")
+        columns.append(f"{label} ET")
+    return _render(
+        "Table 1: exact match and execution time by query type",
+        table1_rows(report),
+        columns,
+    )
+
+
+def format_table2(report: BenchmarkReport) -> str:
+    """Render Table 2 as aligned text."""
+    columns = []
+    for label, _ in _CAPABILITY_COLUMNS:
+        columns.append(f"{label} EM")
+        columns.append(f"{label} ET")
+    return _render(
+        "Table 2: exact match and execution time by capability",
+        table2_rows(report),
+        columns,
+    )

@@ -1,0 +1,162 @@
+"""Benchmark runner: methods x queries -> records -> aggregate report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.evaluate import exact_match
+from repro.bench.queries import QuerySpec
+from repro.bench.suite import build_suite
+from repro.data import load_all
+from repro.data.base import Dataset
+from repro.lm import LMConfig, SimulatedLM
+
+
+@dataclass
+class QueryRecord:
+    """One (method, query) outcome."""
+
+    qid: str
+    domain: str
+    query_type: str
+    capability: str
+    method: str
+    answer: Any
+    gold: list[Any] | None
+    correct: bool | None  # None for aggregation (no exact match)
+    et_seconds: float
+    error: str | None
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BenchmarkReport:
+    """All records plus aggregation helpers for Tables 1 and 2."""
+
+    records: list[QueryRecord]
+    methods: list[str]
+    seed: int
+
+    def _select(
+        self,
+        method: str,
+        query_type: str | None = None,
+        capability: str | None = None,
+    ) -> list[QueryRecord]:
+        return [
+            record
+            for record in self.records
+            if record.method == method
+            and (query_type is None or record.query_type == query_type)
+            and (capability is None or record.capability == capability)
+        ]
+
+    def accuracy(
+        self,
+        method: str,
+        query_type: str | None = None,
+        capability: str | None = None,
+    ) -> float | None:
+        """Exact-match rate over scoreable (non-aggregation) queries."""
+        scoreable = [
+            record
+            for record in self._select(method, query_type, capability)
+            if record.correct is not None
+        ]
+        if not scoreable:
+            return None
+        return sum(record.correct for record in scoreable) / len(scoreable)
+
+    def mean_et(
+        self,
+        method: str,
+        query_type: str | None = None,
+        capability: str | None = None,
+    ) -> float | None:
+        chosen = self._select(method, query_type, capability)
+        if not chosen:
+            return None
+        return sum(record.et_seconds for record in chosen) / len(chosen)
+
+    def record(self, method: str, qid: str) -> QueryRecord:
+        for candidate in self.records:
+            if candidate.method == method and candidate.qid == qid:
+                return candidate
+        raise KeyError(f"no record for ({method}, {qid})")
+
+
+def run_benchmark(
+    seed: int = 0,
+    methods: list | None = None,
+    queries: list[QuerySpec] | None = None,
+    datasets: dict[str, Dataset] | None = None,
+    lm_config: LMConfig | None = None,
+    max_queries: int | None = None,
+) -> BenchmarkReport:
+    """Run the benchmark and return the full report.
+
+    Deterministic for a given ``seed``: datasets, LM beliefs, and LM
+    judgment noise are all derived from it.
+    """
+    from repro.methods import default_methods
+
+    if queries is None:
+        queries = build_suite()
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    if datasets is None:
+        domains = {spec.domain for spec in queries}
+        datasets = {
+            name: dataset
+            for name, dataset in load_all(seed=seed).items()
+            if name in domains
+        }
+    if methods is None:
+        config = lm_config or LMConfig(seed=seed)
+
+        def lm_factory() -> SimulatedLM:
+            return SimulatedLM(config)
+
+        methods = default_methods(lm_factory)
+
+    gold_cache: dict[str, list[Any] | None] = {}
+    records: list[QueryRecord] = []
+    for method in methods:
+        for dataset in datasets.values():
+            method.prepare(dataset)
+        for spec in queries:
+            dataset = datasets[spec.domain]
+            if spec.qid not in gold_cache:
+                gold_cache[spec.qid] = (
+                    spec.gold(dataset) if spec.gold is not None else None
+                )
+            gold = gold_cache[spec.qid]
+            outcome = method.answer(spec, dataset)
+            correct: bool | None = None
+            if gold is not None:
+                correct = outcome.ok and exact_match(
+                    outcome.answer,
+                    gold,
+                    ordered=spec.query_type == "ranking",
+                )
+            records.append(
+                QueryRecord(
+                    qid=spec.qid,
+                    domain=spec.domain,
+                    query_type=spec.query_type,
+                    capability=spec.capability,
+                    method=method.name,
+                    answer=outcome.answer,
+                    gold=gold,
+                    correct=correct,
+                    et_seconds=outcome.et_seconds,
+                    error=outcome.error,
+                    diagnostics=outcome.diagnostics,
+                )
+            )
+    return BenchmarkReport(
+        records=records,
+        methods=[method.name for method in methods],
+        seed=seed,
+    )

@@ -1,0 +1,40 @@
+"""Assemble the full 80-query TAG-Bench suite."""
+
+from __future__ import annotations
+
+from repro.bench.queries import QuerySpec
+from repro.bench.suites import aggregation, comparison, match, ranking
+from repro.errors import BenchmarkError
+
+
+def build_suite() -> list[QuerySpec]:
+    """All 80 queries: 20 per type, 40 knowledge + 40 reasoning."""
+    suite = (
+        match.build()
+        + comparison.build()
+        + ranking.build()
+        + aggregation.build()
+    )
+    _validate(suite)
+    return suite
+
+
+def _validate(suite: list[QuerySpec]) -> None:
+    if len(suite) != 80:
+        raise BenchmarkError(f"expected 80 queries, built {len(suite)}")
+    seen: set[str] = set()
+    for spec in suite:
+        if spec.qid in seen:
+            raise BenchmarkError(f"duplicate query id {spec.qid}")
+        seen.add(spec.qid)
+    by_type: dict[str, int] = {}
+    by_capability: dict[str, int] = {}
+    for spec in suite:
+        by_type[spec.query_type] = by_type.get(spec.query_type, 0) + 1
+        by_capability[spec.capability] = (
+            by_capability.get(spec.capability, 0) + 1
+        )
+    if any(count != 20 for count in by_type.values()) or len(by_type) != 4:
+        raise BenchmarkError(f"bad type balance: {by_type}")
+    if by_capability != {"knowledge": 40, "reasoning": 40}:
+        raise BenchmarkError(f"bad capability balance: {by_capability}")

@@ -1,0 +1,5 @@
+"""The four query-type suites that make up TAG-Bench."""
+
+from repro.bench.suites import aggregation, comparison, match, ranking
+
+__all__ = ["aggregation", "comparison", "match", "ranking"]

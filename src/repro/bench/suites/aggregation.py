@@ -1,0 +1,711 @@
+"""Aggregation queries: free-text answers over many rows.
+
+10 knowledge + 10 reasoning.  The paper measures no exact match here
+("we provide qualitative analysis on results", §4.1); the benchmark
+records each method's answer and ET, and the Figure 2 benchmark scores
+answer *completeness* on the Sepang query.
+"""
+
+from __future__ import annotations
+
+from repro.bench import oracle, pipelines
+from repro.bench.queries import PipelineContext, QuerySpec
+from repro.bench.suites.match import _top_posts
+from repro.data.base import Dataset
+from repro.frame import DataFrame, merge
+
+SEPANG_QUESTION = (
+    "Provide information about the races held on Sepang International "
+    "Circuit."
+)
+
+_GENTLE_POST = "How does gentle boosting differ from AdaBoost?"
+_KERNEL_POST = "Kernel trick intuition for support vector machines"
+_BACKPROP_POST = "Backpropagation through a softmax-cross-entropy layer"
+
+
+def build() -> list[QuerySpec]:
+    """The 20 aggregation queries (10 knowledge + 10 reasoning)."""
+    return _knowledge() + _reasoning()
+
+
+def _spec(
+    qid: str,
+    domain: str,
+    capability: str,
+    question: str,
+    pipeline,
+    entities,
+    source,
+) -> QuerySpec:
+    return QuerySpec(
+        qid=qid,
+        domain=domain,
+        query_type="aggregation",
+        capability=capability,
+        question=question,
+        gold=None,
+        pipeline=pipeline,
+        agg_entities=entities,
+        agg_source=source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# quality-oracle helpers (gold side; never used by pipelines)
+# ---------------------------------------------------------------------------
+
+
+def _circuit_race_rows(dataset: Dataset, names: set[str]) -> list[dict]:
+    circuits = dataset.frame("circuits")
+    chosen = circuits[circuits["name"].isin(names)]
+    ids = set(chosen["circuitId"].tolist())
+    races = dataset.frame("races")
+    return races[races["circuitId"].isin(ids)].to_records()
+
+
+def _race_years(dataset: Dataset, names: set[str]) -> list[str]:
+    return sorted(
+        {
+            str(record["year"])
+            for record in _circuit_race_rows(dataset, names)
+        }
+    )
+
+
+def _region_school_rows(dataset: Dataset, region: str) -> list[dict]:
+    return oracle.filter_by_region(
+        dataset.frame("schools"), region
+    ).to_records()
+
+
+def _region_cities_present(dataset: Dataset, region: str) -> list[str]:
+    schools = oracle.filter_by_region(dataset.frame("schools"), region)
+    return schools["City"].unique()
+
+
+def _country_station_rows(
+    dataset: Dataset, countries: set[str]
+) -> list[dict]:
+    stations = dataset.frame("gasstations")
+    return stations[stations["Country"].isin(countries)].to_records()
+
+
+def _countries_present(dataset: Dataset, countries: set[str]) -> list[str]:
+    stations = dataset.frame("gasstations")
+    return stations[stations["Country"].isin(countries)][
+        "Country"
+    ].unique()
+
+
+def _comment_rows(dataset: Dataset, title: str) -> list[dict]:
+    posts = dataset.frame("posts")
+    post = posts[posts["Title"] == title]
+    return merge(
+        post[["Id"]],
+        dataset.frame("comments"),
+        left_on="Id",
+        right_on="PostId",
+    ).to_records()
+
+
+def _comment_prefixes(records: list[dict], words: int = 6) -> list[str]:
+    """Distinctive prefixes of comment texts — an answer "mentions" a
+    comment when it reproduces its opening words."""
+    prefixes = []
+    for record in records:
+        text = str(record["Text"])
+        prefix = " ".join(text.split()[:words])
+        if prefix not in prefixes:
+            prefixes.append(prefix)
+    return prefixes
+
+
+def _top_technical_titles(dataset: Dataset, count: int) -> list[str]:
+    from repro.text.technicality import technicality_score
+
+    titles = [
+        str(record["Title"])
+        for record in dataset.frame("posts").to_records()
+    ]
+    ranked = sorted(titles, key=technicality_score, reverse=True)
+    return ranked[:count]
+
+
+def _top_post_comment_rows(dataset: Dataset, count: int = 1) -> list[dict]:
+    top = _top_posts(dataset.frame("posts"), count)
+    return merge(
+        top[["Id"]],
+        dataset.frame("comments"),
+        left_on="Id",
+        right_on="PostId",
+    ).to_records()
+
+
+# ---------------------------------------------------------------------------
+# knowledge
+# ---------------------------------------------------------------------------
+
+
+def _knowledge() -> list[QuerySpec]:
+    specs: list[QuerySpec] = []
+
+    def pipe_ak1(ctx: PipelineContext):
+        joined = pipelines.races_with_circuits(ctx)
+        sepang = joined[
+            joined["circuit_name"] == "Sepang International Circuit"
+        ]
+        return ctx.ops.sem_agg(
+            sepang,
+            SEPANG_QUESTION,
+            columns=["year", "round", "date", "race_name", "location"],
+        )
+
+    _SEPANG = {"Sepang International Circuit"}
+    specs.append(
+        _spec(
+            "aggregation-k01",
+            "formula_1",
+            "knowledge",
+            SEPANG_QUESTION,
+            pipe_ak1,
+            entities=lambda d: _race_years(d, _SEPANG),
+            source=lambda d: _circuit_race_rows(d, _SEPANG),
+        )
+    )
+
+    def pipe_ak2(ctx: PipelineContext):
+        street = pipelines.filter_street_circuits(
+            ctx, ctx.frame("circuits")
+        )
+        europe = pipelines.filter_circuits_in_region(
+            ctx, street, "europe"
+        )
+        races = ctx.frame("races").rename(columns={"name": "race_name"})
+        joined = merge(
+            europe, races, left_on="circuitId", right_on="circuitId"
+        )
+        return ctx.ops.sem_agg(
+            joined,
+            "Provide information about the races held on street "
+            "circuits in Europe.",
+            columns=["name", "year", "race_name", "date"],
+        )
+
+    def _street_europe(d: Dataset) -> set[str]:
+        return oracle.street_circuits() & oracle.circuits_in_region(
+            "europe"
+        )
+
+    specs.append(
+        _spec(
+            "aggregation-k02",
+            "formula_1",
+            "knowledge",
+            "Provide information about the races held on street "
+            "circuits in Europe.",
+            pipe_ak2,
+            entities=lambda d: _race_years(d, _street_europe(d)),
+            source=lambda d: _circuit_race_rows(d, _street_europe(d)),
+        )
+    )
+
+    def pipe_ak3(ctx: PipelineContext):
+        schools = pipelines.filter_by_region(
+            ctx, ctx.frame("schools"), "Silicon Valley"
+        )
+        return ctx.ops.sem_agg(
+            schools,
+            "Summarize the characteristics of schools in the Silicon "
+            "Valley region.",
+            columns=["School", "City", "County", "GSoffered", "Charter"],
+        )
+
+    specs.append(
+        _spec(
+            "aggregation-k03",
+            "california_schools",
+            "knowledge",
+            "Summarize the characteristics of schools in the Silicon "
+            "Valley region.",
+            pipe_ak3,
+            entities=lambda d: _region_cities_present(
+                d, "silicon valley"
+            ),
+            source=lambda d: _region_school_rows(d, "silicon valley"),
+        )
+    )
+
+    def pipe_ak4(ctx: PipelineContext):
+        joined = merge(
+            ctx.frame("schools"),
+            ctx.frame("satscores"),
+            left_on="CDSCode",
+            right_on="cds",
+        )
+        bay = pipelines.filter_by_region(ctx, joined, "Bay Area")
+        return ctx.ops.sem_agg(
+            bay,
+            "Provide an overview of the SAT performance of schools in "
+            "the Bay Area.",
+            columns=[
+                "School", "City", "AvgScrMath", "AvgScrRead",
+                "AvgScrWrite", "NumTstTakr",
+            ],
+        )
+
+    def _bay_sat_rows(d: Dataset) -> list[dict]:
+        joined = merge(
+            d.frame("schools"),
+            d.frame("satscores"),
+            left_on="CDSCode",
+            right_on="cds",
+        )
+        return oracle.filter_by_region(joined, "bay area").to_records()
+
+    specs.append(
+        _spec(
+            "aggregation-k04",
+            "california_schools",
+            "knowledge",
+            "Provide an overview of the SAT performance of schools in "
+            "the Bay Area.",
+            pipe_ak4,
+            entities=lambda d: sorted(
+                {str(r["City"]) for r in _bay_sat_rows(d)}
+            ),
+            source=_bay_sat_rows,
+        )
+    )
+
+    def pipe_ak5(ctx: PipelineContext):
+        euro = pipelines.filter_countries(
+            ctx, ctx.frame("gasstations"), "uses the euro"
+        )
+        return ctx.ops.sem_agg(
+            euro,
+            "Summarize the gas stations in countries that use the "
+            "Euro.",
+            columns=["GasStationID", "Country", "Segment"],
+        )
+
+    specs.append(
+        _spec(
+            "aggregation-k05",
+            "debit_card_specializing",
+            "knowledge",
+            "Summarize the gas stations in countries that use the Euro.",
+            pipe_ak5,
+            entities=lambda d: _countries_present(
+                d, oracle.euro_countries()
+            ),
+            source=lambda d: _country_station_rows(
+                d, oracle.euro_countries()
+            ),
+        )
+    )
+
+    def pipe_ak6(ctx: PipelineContext):
+        in_eu = pipelines.filter_countries(
+            ctx,
+            ctx.frame("gasstations"),
+            "is a member of the European Union",
+        )
+        return ctx.ops.sem_agg(
+            in_eu,
+            "Provide an overview of gas stations in countries in the "
+            "European Union.",
+            columns=["GasStationID", "Country", "Segment"],
+        )
+
+    specs.append(
+        _spec(
+            "aggregation-k06",
+            "debit_card_specializing",
+            "knowledge",
+            "Provide an overview of gas stations in countries in the "
+            "European Union.",
+            pipe_ak6,
+            entities=lambda d: _countries_present(
+                d, oracle.eu_countries()
+            ),
+            source=lambda d: _country_station_rows(
+                d, oracle.eu_countries()
+            ),
+        )
+    )
+
+    def pipe_ak7(ctx: PipelineContext):
+        taller = pipelines.filter_players_by_height(
+            ctx, ctx.frame("Player"), "Stephen Curry", "taller"
+        )
+        joined = merge(
+            taller,
+            ctx.frame("Player_Attributes"),
+            left_on="player_api_id",
+            right_on="player_api_id",
+        )
+        return ctx.ops.sem_agg(
+            joined,
+            "Summarize the attributes of players taller than Stephen "
+            "Curry.",
+            columns=[
+                "player_name", "height", "overall_rating", "volleys",
+                "sprint_speed",
+            ],
+        )
+
+    def _tall_player_rows(d: Dataset) -> list[dict]:
+        players = d.frame("Player")
+        threshold = oracle.person_height("Stephen Curry")
+        tall = players[players["height"] > threshold]
+        return merge(
+            tall,
+            d.frame("Player_Attributes"),
+            left_on="player_api_id",
+            right_on="player_api_id",
+        ).to_records()
+
+    def _tall_player_entities(d: Dataset) -> list[str]:
+        heights = [r["height"] for r in _tall_player_rows(d)]
+        # A complete summary reports the extremes of the height range.
+        return [str(min(heights)), str(max(heights))]
+
+    specs.append(
+        _spec(
+            "aggregation-k07",
+            "european_football_2",
+            "knowledge",
+            "Summarize the attributes of players taller than Stephen "
+            "Curry.",
+            pipe_ak7,
+            entities=_tall_player_entities,
+            source=_tall_player_rows,
+        )
+    )
+
+    def pipe_ak8(ctx: PipelineContext):
+        uk = pipelines.filter_uk_leagues(ctx, ctx.frame("League"))
+        joined = merge(
+            uk, ctx.frame("Team"), left_on="id", right_on="league_id"
+        )
+        return ctx.ops.sem_agg(
+            joined,
+            "Provide an overview of the football leagues in the "
+            "United Kingdom.",
+            columns=["name", "team_long_name"],
+        )
+
+    def _uk_league_rows(d: Dataset) -> list[dict]:
+        leagues = d.frame("League")
+        uk = leagues[leagues["name"].isin(oracle.uk_leagues())]
+        return merge(
+            uk, d.frame("Team"), left_on="id", right_on="league_id"
+        ).to_records()
+
+    specs.append(
+        _spec(
+            "aggregation-k08",
+            "european_football_2",
+            "knowledge",
+            "Provide an overview of the football leagues in the United "
+            "Kingdom.",
+            pipe_ak8,
+            entities=lambda d: sorted(
+                {str(r["name"]) for r in _uk_league_rows(d)}
+            ),
+            source=_uk_league_rows,
+        )
+    )
+
+    def pipe_ak9(ctx: PipelineContext):
+        chosen = pipelines.filter_circuits_in_region(
+            ctx, ctx.frame("circuits"), "southeast asia"
+        )
+        races = ctx.frame("races").rename(columns={"name": "race_name"})
+        joined = merge(
+            chosen, races, left_on="circuitId", right_on="circuitId"
+        )
+        return ctx.ops.sem_agg(
+            joined,
+            "Summarize the race history of circuits located in "
+            "Southeast Asia.",
+            columns=["name", "year", "race_name"],
+        )
+
+    specs.append(
+        _spec(
+            "aggregation-k09",
+            "formula_1",
+            "knowledge",
+            "Summarize the race history of circuits located in "
+            "Southeast Asia.",
+            pipe_ak9,
+            entities=lambda d: sorted(
+                oracle.circuits_in_region("southeast asia")
+            ),
+            source=lambda d: _circuit_race_rows(
+                d, oracle.circuits_in_region("southeast asia")
+            ),
+        )
+    )
+
+    def pipe_ak10(ctx: PipelineContext):
+        schools = ctx.frame("schools")
+        charters = schools[schools["Charter"] == 1]
+        bay = pipelines.filter_by_region(ctx, charters, "Bay Area")
+        return ctx.ops.sem_agg(
+            bay,
+            "Provide information about charter schools in the Bay "
+            "Area.",
+            columns=["School", "City", "County", "GSoffered"],
+        )
+
+    def _bay_charter_rows(d: Dataset) -> list[dict]:
+        schools = d.frame("schools")
+        charters = schools[schools["Charter"] == 1]
+        return oracle.filter_by_region(charters, "bay area").to_records()
+
+    specs.append(
+        _spec(
+            "aggregation-k10",
+            "california_schools",
+            "knowledge",
+            "Provide information about charter schools in the Bay Area.",
+            pipe_ak10,
+            entities=lambda d: sorted(
+                {str(r["City"]) for r in _bay_charter_rows(d)}
+            ),
+            source=_bay_charter_rows,
+        )
+    )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# reasoning
+# ---------------------------------------------------------------------------
+
+
+def _reasoning() -> list[QuerySpec]:
+    specs: list[QuerySpec] = []
+
+    def add(qid: str, question: str, pipeline, entities, source) -> None:
+        specs.append(
+            _spec(
+                qid,
+                "codebase_community",
+                "reasoning",
+                question,
+                pipeline,
+                entities,
+                source,
+            )
+        )
+
+    def pipe_ar1(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(ctx, _GENTLE_POST)
+        return ctx.ops.sem_agg(
+            comments,
+            "Summarize the comments made on the post titled "
+            f"'{_GENTLE_POST}' to answer the original question.",
+            columns=["Text"],
+        )
+
+    add(
+        "aggregation-r01",
+        "Summarize the comments made on the post titled "
+        f"'{_GENTLE_POST}' to answer the original question.",
+        pipe_ar1,
+        entities=lambda d: _comment_prefixes(_comment_rows(d, _GENTLE_POST)),
+        source=lambda d: _comment_rows(d, _GENTLE_POST),
+    )
+
+    def pipe_ar2(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(ctx, _KERNEL_POST)
+        positive = pipelines.filter_positive(ctx, comments)
+        return ctx.ops.sem_agg(
+            positive,
+            "Summarize the positive comments on the post titled "
+            f"'{_KERNEL_POST}'.",
+            columns=["Text"],
+        )
+
+    add(
+        "aggregation-r02",
+        "Summarize the positive comments on the post titled "
+        f"'{_KERNEL_POST}'.",
+        pipe_ar2,
+        entities=lambda d: _comment_prefixes([r for r in _comment_rows(d, _KERNEL_POST) if oracle.is_positive(str(r['Text']))]),
+        source=lambda d: [r for r in _comment_rows(d, _KERNEL_POST) if oracle.is_positive(str(r['Text']))],
+    )
+
+    def pipe_ar3(ctx: PipelineContext):
+        sarcastic = pipelines.filter_sarcastic(
+            ctx, ctx.frame("comments")
+        )
+        return ctx.ops.sem_agg(
+            sarcastic,
+            "Summarize the sarcastic comments across all posts.",
+            columns=["Text"],
+        )
+
+    add(
+        "aggregation-r03",
+        "Summarize the sarcastic comments across all posts.",
+        pipe_ar3,
+        entities=lambda d: _comment_prefixes([r for r in d.frame('comments').to_records() if oracle.is_sarcastic(str(r['Text']))]),
+        source=lambda d: [r for r in d.frame('comments').to_records() if oracle.is_sarcastic(str(r['Text']))],
+    )
+
+    def pipe_ar4(ctx: PipelineContext):
+        top = pipelines.topk_technical(ctx, ctx.frame("posts"), 5)
+        return ctx.ops.sem_agg(
+            top,
+            "Summarize the titles of the 5 most technical posts.",
+            columns=["Title"],
+        )
+
+    add(
+        "aggregation-r04",
+        "Summarize the titles of the 5 most technical posts.",
+        pipe_ar4,
+        entities=lambda d: _top_technical_titles(d, 5),
+        source=lambda d: [r for r in d.frame('posts').to_records() if str(r['Title']) in set(_top_technical_titles(d, 5))],
+    )
+
+    def pipe_ar5(ctx: PipelineContext):
+        top = _top_posts(ctx.frame("posts"), 1)
+        comments = merge(
+            top[["Id"]],
+            ctx.frame("comments"),
+            left_on="Id",
+            right_on="PostId",
+        )
+        return ctx.ops.sem_agg(
+            comments,
+            "Summarize the comments made on the post with the highest "
+            "view count.",
+            columns=["Text"],
+        )
+
+    add(
+        "aggregation-r05",
+        "Summarize the comments made on the post with the highest "
+        "view count.",
+        pipe_ar5,
+        entities=lambda d: _comment_prefixes(_top_post_comment_rows(d)),
+        source=lambda d: _top_post_comment_rows(d),
+    )
+
+    def pipe_ar6(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(
+            ctx, _BACKPROP_POST
+        )
+        negative = pipelines.filter_negative(ctx, comments)
+        return ctx.ops.sem_agg(
+            negative,
+            "Summarize the negative comments on the post titled "
+            f"'{_BACKPROP_POST}'.",
+            columns=["Text"],
+        )
+
+    add(
+        "aggregation-r06",
+        "Summarize the negative comments on the post titled "
+        f"'{_BACKPROP_POST}'.",
+        pipe_ar6,
+        entities=lambda d: _comment_prefixes([r for r in _comment_rows(d, _BACKPROP_POST) if oracle.is_negative(str(r['Text']))]),
+        source=lambda d: [r for r in _comment_rows(d, _BACKPROP_POST) if oracle.is_negative(str(r['Text']))],
+    )
+
+    def pipe_ar7(ctx: PipelineContext):
+        top3 = _top_posts(ctx.frame("posts"), 3)
+        comments = merge(
+            top3[["Id"]],
+            ctx.frame("comments"),
+            left_on="Id",
+            right_on="PostId",
+        )
+        return ctx.ops.sem_agg(
+            comments,
+            "Summarize the comments on the 3 posts with the highest "
+            "view count.",
+            columns=["PostId", "Text"],
+        )
+
+    add(
+        "aggregation-r07",
+        "Summarize the comments on the 3 posts with the highest view "
+        "count.",
+        pipe_ar7,
+        entities=lambda d: _comment_prefixes(_top_post_comment_rows(d, 3)),
+        source=lambda d: _top_post_comment_rows(d, 3),
+    )
+
+    def pipe_ar8(ctx: PipelineContext):
+        posts = ctx.frame("posts")
+        technical = pipelines.filter_technical_titles(ctx, posts)
+        technical_titles = set(technical["Title"].tolist())
+        non_technical = posts.filter_mask(
+            [
+                title not in technical_titles
+                for title in posts["Title"].tolist()
+            ]
+        )
+        return ctx.ops.sem_agg(
+            non_technical,
+            "Summarize the titles of the posts that are not technical.",
+            columns=["Title"],
+        )
+
+    add(
+        "aggregation-r08",
+        "Summarize the titles of the posts that are not technical.",
+        pipe_ar8,
+        entities=lambda d: [str(r['Title']) for r in d.frame('posts').to_records() if not oracle.is_technical(str(r['Title']))],
+        source=lambda d: [r for r in d.frame('posts').to_records() if not oracle.is_technical(str(r['Title']))],
+    )
+
+    def pipe_ar9(ctx: PipelineContext):
+        comments = ctx.frame("comments")
+        high = comments[comments["Score"] > 20]
+        return ctx.ops.sem_agg(
+            high,
+            "Summarize the comments with a score over 20.",
+            columns=["Text", "Score"],
+        )
+
+    add(
+        "aggregation-r09",
+        "Summarize the comments with a score over 20.",
+        pipe_ar9,
+        entities=lambda d: _comment_prefixes([r for r in d.frame('comments').to_records() if r['Score'] > 20]),
+        source=lambda d: [r for r in d.frame('comments').to_records() if r['Score'] > 20],
+    )
+
+    def pipe_ar10(ctx: PipelineContext):
+        top = _top_posts(ctx.frame("posts"), 1)
+        comments = merge(
+            top[["Id"]],
+            ctx.frame("comments"),
+            left_on="Id",
+            right_on="PostId",
+        )
+        positive = pipelines.filter_positive(ctx, comments)
+        return ctx.ops.sem_agg(
+            positive,
+            "Summarize the positive comments on the post with the "
+            "highest view count.",
+            columns=["Text"],
+        )
+
+    add(
+        "aggregation-r10",
+        "Summarize the positive comments on the post with the highest "
+        "view count.",
+        pipe_ar10,
+        entities=lambda d: _comment_prefixes([r for r in _top_post_comment_rows(d) if oracle.is_positive(str(r['Text']))]),
+        source=lambda d: [r for r in _top_post_comment_rows(d) if oracle.is_positive(str(r['Text']))],
+    )
+    return specs

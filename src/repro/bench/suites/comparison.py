@@ -1,0 +1,607 @@
+"""Comparison queries: counting under knowledge/reasoning predicates.
+
+10 knowledge + 10 reasoning queries; every gold answer is a single
+count, so exact match requires the method to get the *entire* predicate
+right — the regime where RAG's 10-row retrieval and the LM's long-
+context arithmetic both collapse, per the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench import oracle, pipelines
+from repro.bench.queries import PipelineContext, QuerySpec
+from repro.bench.suites.match import (
+    _ctx_top_post_comments,
+    _post_comments,
+    _top_post_comments,
+    _top_posts,
+)
+from repro.data.base import Dataset
+from repro.frame import merge
+
+
+def build() -> list[QuerySpec]:
+    """The 20 comparison queries (10 knowledge + 10 reasoning)."""
+    return _knowledge() + _reasoning()
+
+
+def _spec(
+    qid: str,
+    domain: str,
+    capability: str,
+    question: str,
+    gold,
+    pipeline,
+) -> QuerySpec:
+    return QuerySpec(
+        qid=qid,
+        domain=domain,
+        query_type="comparison",
+        capability=capability,
+        question=question,
+        gold=gold,
+        pipeline=pipeline,
+    )
+
+
+# ---------------------------------------------------------------------------
+# knowledge
+# ---------------------------------------------------------------------------
+
+
+def _knowledge() -> list[QuerySpec]:
+    specs: list[QuerySpec] = []
+
+    def gold_ck1(dataset: Dataset) -> list:
+        players = merge(
+            dataset.frame("Player"),
+            dataset.frame("Player_Attributes"),
+            left_on="player_api_id",
+            right_on="player_api_id",
+        )
+        filtered = players[players["height"] > 180]
+        filtered = filtered[filtered["volleys"] > 70]
+        threshold = oracle.person_height("Stephen Curry")
+        filtered = filtered[filtered["height"] > threshold]
+        return [len(filtered)]
+
+    def pipe_ck1(ctx: PipelineContext):
+        players = pipelines.players_with_attributes(ctx)
+        filtered = players[players["height"] > 180]
+        filtered = filtered[filtered["volleys"] > 70]
+        filtered = pipelines.filter_players_by_height(
+            ctx, filtered, "Stephen Curry", "taller"
+        )
+        return [len(filtered)]
+
+    specs.append(
+        _spec(
+            "comparison-k01",
+            "european_football_2",
+            "knowledge",
+            "Among the players whose height is over 180, how many of "
+            "them have a volley score of over 70 and are taller than "
+            "Stephen Curry?",
+            gold_ck1,
+            pipe_ck1,
+        )
+    )
+
+    def gold_ck2(dataset: Dataset) -> list:
+        players = dataset.frame("Player")
+        threshold = oracle.person_height("Lionel Messi")
+        return [len(players[players["height"] < threshold])]
+
+    def pipe_ck2(ctx: PipelineContext):
+        shorter = pipelines.filter_players_by_height(
+            ctx, ctx.frame("Player"), "Lionel Messi", "shorter"
+        )
+        return [len(shorter)]
+
+    specs.append(
+        _spec(
+            "comparison-k02",
+            "european_football_2",
+            "knowledge",
+            "How many players are shorter than Lionel Messi?",
+            gold_ck2,
+            pipe_ck2,
+        )
+    )
+
+    def gold_ck3(dataset: Dataset) -> list:
+        players = dataset.frame("Player")
+        threshold = oracle.person_height("Peter Crouch")
+        return [len(players[players["height"] > threshold])]
+
+    def pipe_ck3(ctx: PipelineContext):
+        taller = pipelines.filter_players_by_height(
+            ctx, ctx.frame("Player"), "Peter Crouch", "taller"
+        )
+        return [len(taller)]
+
+    specs.append(
+        _spec(
+            "comparison-k03",
+            "european_football_2",
+            "knowledge",
+            "How many players are taller than Peter Crouch?",
+            gold_ck3,
+            pipe_ck3,
+        )
+    )
+
+    def gold_ck4(dataset: Dataset) -> list:
+        joined = merge(
+            dataset.frame("schools"),
+            dataset.frame("satscores"),
+            left_on="CDSCode",
+            right_on="cds",
+        )
+        joined = joined[joined["AvgScrMath"] > 560]
+        joined = oracle.filter_by_region(joined, "bay area")
+        return [len(joined)]
+
+    def pipe_ck4(ctx: PipelineContext):
+        joined = merge(
+            ctx.frame("schools"),
+            ctx.frame("satscores"),
+            left_on="CDSCode",
+            right_on="cds",
+        )
+        joined = joined[joined["AvgScrMath"] > 560]
+        joined = pipelines.filter_by_region(ctx, joined, "Bay Area")
+        return [len(joined)]
+
+    specs.append(
+        _spec(
+            "comparison-k04",
+            "california_schools",
+            "knowledge",
+            "How many schools with an average score in Math over 560 "
+            "are in the Bay Area?",
+            gold_ck4,
+            pipe_ck4,
+        )
+    )
+
+    def gold_ck5(dataset: Dataset) -> list:
+        schools = dataset.frame("schools")
+        charters = schools[schools["Charter"] == 1]
+        charters = oracle.filter_by_region(charters, "silicon valley")
+        return [len(charters)]
+
+    def pipe_ck5(ctx: PipelineContext):
+        schools = ctx.frame("schools")
+        charters = schools[schools["Charter"] == 1]
+        charters = pipelines.filter_by_region(
+            ctx, charters, "Silicon Valley"
+        )
+        return [len(charters)]
+
+    specs.append(
+        _spec(
+            "comparison-k05",
+            "california_schools",
+            "knowledge",
+            "How many charter schools are in cities in the Silicon "
+            "Valley region?",
+            gold_ck5,
+            pipe_ck5,
+        )
+    )
+
+    def gold_ck6(dataset: Dataset) -> list:
+        joined = merge(
+            dataset.frame("schools"),
+            dataset.frame("satscores"),
+            left_on="CDSCode",
+            right_on="cds",
+        )
+        joined = joined[joined["NumTstTakr"] > 500]
+        joined = oracle.filter_by_region(joined, "bay area")
+        return [len(joined)]
+
+    def pipe_ck6(ctx: PipelineContext):
+        joined = merge(
+            ctx.frame("schools"),
+            ctx.frame("satscores"),
+            left_on="CDSCode",
+            right_on="cds",
+        )
+        joined = joined[joined["NumTstTakr"] > 500]
+        joined = pipelines.filter_by_region(ctx, joined, "Bay Area")
+        return [len(joined)]
+
+    specs.append(
+        _spec(
+            "comparison-k06",
+            "california_schools",
+            "knowledge",
+            "How many schools in the Bay Area have more than 500 test "
+            "takers?",
+            gold_ck6,
+            pipe_ck6,
+        )
+    )
+
+    def gold_ck7(dataset: Dataset) -> list:
+        circuits = dataset.frame("circuits")
+        street = circuits[
+            circuits["name"].isin(oracle.street_circuits())
+        ]
+        ids = set(street["circuitId"].tolist())
+        races = dataset.frame("races")
+        return [len(races[races["circuitId"].isin(ids)])]
+
+    def pipe_ck7(ctx: PipelineContext):
+        street = pipelines.filter_street_circuits(
+            ctx, ctx.frame("circuits")
+        )
+        races = ctx.frame("races")
+        ids = set(street["circuitId"].tolist())
+        return [len(races[races["circuitId"].isin(ids)])]
+
+    specs.append(
+        _spec(
+            "comparison-k07",
+            "formula_1",
+            "knowledge",
+            "How many races were held on street circuits?",
+            gold_ck7,
+            pipe_ck7,
+        )
+    )
+
+    def gold_ck8(dataset: Dataset) -> list:
+        circuits = dataset.frame("circuits")
+        chosen = circuits[
+            circuits["name"].isin(
+                oracle.circuits_in_region("southeast asia")
+            )
+        ]
+        ids = set(chosen["circuitId"].tolist())
+        races = dataset.frame("races")
+        return [len(races[races["circuitId"].isin(ids)])]
+
+    def pipe_ck8(ctx: PipelineContext):
+        chosen = pipelines.filter_circuits_in_region(
+            ctx, ctx.frame("circuits"), "southeast asia"
+        )
+        ids = set(chosen["circuitId"].tolist())
+        races = ctx.frame("races")
+        return [len(races[races["circuitId"].isin(ids)])]
+
+    specs.append(
+        _spec(
+            "comparison-k08",
+            "formula_1",
+            "knowledge",
+            "How many races were held at circuits located in Southeast "
+            "Asia?",
+            gold_ck8,
+            pipe_ck8,
+        )
+    )
+
+    def gold_ck9(dataset: Dataset) -> list:
+        stations = dataset.frame("gasstations")
+        return [
+            len(stations[stations["Country"].isin(oracle.euro_countries())])
+        ]
+
+    def pipe_ck9(ctx: PipelineContext):
+        euro = pipelines.filter_countries(
+            ctx, ctx.frame("gasstations"), "uses the euro"
+        )
+        return [len(euro)]
+
+    specs.append(
+        _spec(
+            "comparison-k09",
+            "debit_card_specializing",
+            "knowledge",
+            "How many gas stations are in countries that use the Euro?",
+            gold_ck9,
+            pipe_ck9,
+        )
+    )
+
+    def gold_ck10(dataset: Dataset) -> list:
+        stations = dataset.frame("gasstations")
+        return [
+            len(stations[stations["Country"].isin(oracle.eu_countries())])
+        ]
+
+    def pipe_ck10(ctx: PipelineContext):
+        in_eu = pipelines.filter_countries(
+            ctx,
+            ctx.frame("gasstations"),
+            "is a member of the European Union",
+        )
+        return [len(in_eu)]
+
+    specs.append(
+        _spec(
+            "comparison-k10",
+            "debit_card_specializing",
+            "knowledge",
+            "How many gas stations are in countries that are in the "
+            "European Union?",
+            gold_ck10,
+            pipe_ck10,
+        )
+    )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# reasoning
+# ---------------------------------------------------------------------------
+
+_GENTLE_POST = "How does gentle boosting differ from AdaBoost?"
+_KERNEL_POST = "Kernel trick intuition for support vector machines"
+_BACKPROP_POST = "Backpropagation through a softmax-cross-entropy layer"
+_BOOTSTRAP_POST = "Bootstrap confidence intervals for the median"
+
+
+def _reasoning() -> list[QuerySpec]:
+    specs: list[QuerySpec] = []
+
+    def add(qid: str, question: str, gold, pipeline) -> None:
+        specs.append(
+            _spec(
+                qid, "codebase_community", "reasoning", question, gold,
+                pipeline,
+            )
+        )
+
+    def gold_cr1(dataset: Dataset) -> list:
+        comments = _post_comments(dataset, _GENTLE_POST)
+        return [
+            sum(
+                1
+                for _, record in comments.iterrows()
+                if oracle.is_positive(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr1(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(ctx, _GENTLE_POST)
+        positive = pipelines.filter_positive(ctx, comments)
+        return [len(positive)]
+
+    add(
+        "comparison-r01",
+        "How many comments on the post titled "
+        f"'{_GENTLE_POST}' are positive?",
+        gold_cr1,
+        pipe_cr1,
+    )
+
+    def gold_cr2(dataset: Dataset) -> list:
+        comments = _post_comments(dataset, _KERNEL_POST)
+        return [
+            sum(
+                1
+                for _, record in comments.iterrows()
+                if oracle.is_sarcastic(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr2(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(ctx, _KERNEL_POST)
+        sarcastic = pipelines.filter_sarcastic(ctx, comments)
+        return [len(sarcastic)]
+
+    add(
+        "comparison-r02",
+        "How many comments on the post titled "
+        f"'{_KERNEL_POST}' are sarcastic?",
+        gold_cr2,
+        pipe_cr2,
+    )
+
+    def gold_cr3(dataset: Dataset) -> list:
+        posts = dataset.frame("posts")
+        return [
+            sum(
+                1
+                for _, record in posts.iterrows()
+                if oracle.is_technical(str(record["Title"]))
+            )
+        ]
+
+    def pipe_cr3(ctx: PipelineContext):
+        technical = pipelines.filter_technical_titles(
+            ctx, ctx.frame("posts")
+        )
+        return [len(technical)]
+
+    add(
+        "comparison-r03",
+        "How many posts have a technical title?",
+        gold_cr3,
+        pipe_cr3,
+    )
+
+    def gold_cr4(dataset: Dataset) -> list:
+        comments = _top_post_comments(dataset)
+        return [
+            sum(
+                1
+                for _, record in comments.iterrows()
+                if oracle.is_negative(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr4(ctx: PipelineContext):
+        comments = _ctx_top_post_comments(ctx)
+        negative = pipelines.filter_negative(ctx, comments)
+        return [len(negative)]
+
+    add(
+        "comparison-r04",
+        "How many comments on the post with the highest view count "
+        "are negative?",
+        gold_cr4,
+        pipe_cr4,
+    )
+
+    def gold_cr5(dataset: Dataset) -> list:
+        posts = dataset.frame("posts")
+        big = posts[posts["ViewCount"] > 20000]
+        comments = merge(
+            big[["Id"]],
+            dataset.frame("comments"),
+            left_on="Id",
+            right_on="PostId",
+        )
+        return [
+            sum(
+                1
+                for _, record in comments.iterrows()
+                if oracle.is_positive(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr5(ctx: PipelineContext):
+        posts = ctx.frame("posts")
+        big = posts[posts["ViewCount"] > 20000]
+        comments = merge(
+            big[["Id"]],
+            ctx.frame("comments"),
+            left_on="Id",
+            right_on="PostId",
+        )
+        positive = pipelines.filter_positive(ctx, comments)
+        return [len(positive)]
+
+    add(
+        "comparison-r05",
+        "How many comments on posts with a view count over 20000 are "
+        "positive?",
+        gold_cr5,
+        pipe_cr5,
+    )
+
+    def gold_cr6(dataset: Dataset) -> list:
+        top5 = _top_posts(dataset.frame("posts"), 5)
+        return [
+            sum(
+                1
+                for _, record in top5.iterrows()
+                if oracle.is_technical(str(record["Title"]))
+            )
+        ]
+
+    def pipe_cr6(ctx: PipelineContext):
+        top5 = _top_posts(ctx.frame("posts"), 5)
+        technical = pipelines.filter_technical_titles(ctx, top5)
+        return [len(technical)]
+
+    add(
+        "comparison-r06",
+        "How many of the 5 posts with the highest view count have "
+        "technical titles?",
+        gold_cr6,
+        pipe_cr6,
+    )
+
+    def gold_cr7(dataset: Dataset) -> list:
+        comments = dataset.frame("comments")
+        high = comments[comments["Score"] > 20]
+        return [
+            sum(
+                1
+                for _, record in high.iterrows()
+                if oracle.is_sarcastic(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr7(ctx: PipelineContext):
+        comments = ctx.frame("comments")
+        high = comments[comments["Score"] > 20]
+        sarcastic = pipelines.filter_sarcastic(ctx, high)
+        return [len(sarcastic)]
+
+    add(
+        "comparison-r07",
+        "How many comments with a score over 20 are sarcastic?",
+        gold_cr7,
+        pipe_cr7,
+    )
+
+    def gold_cr8(dataset: Dataset) -> list:
+        comments = _post_comments(dataset, _BACKPROP_POST)
+        return [
+            sum(
+                1
+                for _, record in comments.iterrows()
+                if oracle.is_negative(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr8(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(
+            ctx, _BACKPROP_POST
+        )
+        negative = pipelines.filter_negative(ctx, comments)
+        return [len(negative)]
+
+    add(
+        "comparison-r08",
+        "How many comments on the post titled "
+        f"'{_BACKPROP_POST}' are negative?",
+        gold_cr8,
+        pipe_cr8,
+    )
+
+    def gold_cr9(dataset: Dataset) -> list:
+        comments = _post_comments(dataset, _BOOTSTRAP_POST)
+        return [
+            sum(
+                1
+                for _, record in comments.iterrows()
+                if oracle.is_positive(str(record["Text"]))
+            )
+        ]
+
+    def pipe_cr9(ctx: PipelineContext):
+        comments = pipelines.comments_for_post_title(
+            ctx, _BOOTSTRAP_POST
+        )
+        positive = pipelines.filter_positive(ctx, comments)
+        return [len(positive)]
+
+    add(
+        "comparison-r09",
+        "How many comments on the post titled "
+        f"'{_BOOTSTRAP_POST}' are positive?",
+        gold_cr9,
+        pipe_cr9,
+    )
+
+    def gold_cr10(dataset: Dataset) -> list:
+        top10 = _top_posts(dataset.frame("posts"), 10)
+        return [
+            sum(
+                1
+                for _, record in top10.iterrows()
+                if oracle.is_technical(str(record["Title"]))
+            )
+        ]
+
+    def pipe_cr10(ctx: PipelineContext):
+        top10 = _top_posts(ctx.frame("posts"), 10)
+        technical = pipelines.filter_technical_titles(ctx, top10)
+        return [len(technical)]
+
+    add(
+        "comparison-r10",
+        "How many of the 10 posts with the highest view count have "
+        "technical titles?",
+        gold_cr10,
+        pipe_cr10,
+    )
+    return specs

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro bench [--seed N] [--max-queries N]
+    python -m repro query <qid> [--method NAME] [--seed N]
+    python -m repro sql <domain> "<SELECT ...>" [--explain]
+    python -m repro suite [--type T] [--capability C]
+    python -m repro export <domain> <directory>
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import format_table1, format_table2
+from repro.bench.runner import run_benchmark
+from repro.bench.suite import build_suite
+from repro.data import DOMAINS, load_domain
+from repro.errors import ReproError
+from repro.frame.io import export_dataset
+from repro.lm import LMConfig, SimulatedLM
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI (subcommands: bench/query/sql/suite/export)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "TAG reproduction: benchmark runner, query inspector, SQL "
+            "shell, dataset export."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bench = commands.add_parser(
+        "bench", help="run TAG-Bench and print Tables 1-2"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--max-queries", type=int, default=None)
+
+    query = commands.add_parser(
+        "query", help="run one benchmark query through the methods"
+    )
+    query.add_argument("qid")
+    query.add_argument(
+        "--method",
+        default=None,
+        help="method name substring (default: all five)",
+    )
+    query.add_argument("--seed", type=int, default=0)
+
+    sql = commands.add_parser(
+        "sql", help="execute SQL against a generated domain"
+    )
+    sql.add_argument("domain", choices=DOMAINS)
+    sql.add_argument("statement")
+    sql.add_argument("--explain", action="store_true")
+    sql.add_argument("--seed", type=int, default=0)
+
+    suite = commands.add_parser("suite", help="list benchmark queries")
+    suite.add_argument("--type", dest="query_type", default=None)
+    suite.add_argument("--capability", default=None)
+
+    export = commands.add_parser(
+        "export", help="write a domain's tables as CSV files"
+    )
+    export.add_argument("domain", choices=DOMAINS)
+    export.add_argument("directory")
+    export.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_bench(args) -> int:
+    report = run_benchmark(seed=args.seed, max_queries=args.max_queries)
+    print(format_table1(report))
+    print()
+    print(format_table2(report))
+    return 0
+
+
+def _command_query(args) -> int:
+    from repro.methods import default_methods
+
+    specs = [s for s in build_suite() if s.qid == args.qid]
+    if not specs:
+        print(f"no query with id {args.qid!r}", file=sys.stderr)
+        return 1
+    spec = specs[0]
+    dataset = load_domain(spec.domain, seed=args.seed)
+    print(f"[{spec.qid}] ({spec.query_type}/{spec.capability})")
+    print(f"Q: {spec.question}")
+    if spec.gold is not None:
+        print(f"gold: {spec.gold(dataset)}")
+    config = LMConfig(seed=args.seed)
+    methods = default_methods(lambda: SimulatedLM(config))
+    if args.method:
+        methods = [
+            m for m in methods if args.method.lower() in m.name.lower()
+        ]
+        if not methods:
+            print(f"no method matching {args.method!r}", file=sys.stderr)
+            return 1
+    for method in methods:
+        method.prepare(dataset)
+        result = method.answer(spec, dataset)
+        status = result.error or "ok"
+        print(
+            f"\n== {method.name} (ET {result.et_seconds:.2f}s, {status})"
+        )
+        print(f"   {result.answer}")
+    return 0
+
+
+def _command_sql(args) -> int:
+    dataset = load_domain(args.domain, seed=args.seed)
+    try:
+        if args.explain:
+            print(dataset.db.explain(args.statement))
+            return 0
+        result = dataset.db.execute(args.statement)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print("\t".join(result.columns))
+    for row in result.rows[:200]:
+        print("\t".join(str(value) for value in row))
+    if len(result.rows) > 200:
+        print(f"... ({len(result.rows)} rows total)")
+    return 0
+
+
+def _command_suite(args) -> int:
+    for spec in build_suite():
+        if args.query_type and spec.query_type != args.query_type:
+            continue
+        if args.capability and spec.capability != args.capability:
+            continue
+        print(
+            f"{spec.qid:18s} {spec.query_type:12s} "
+            f"{spec.capability:10s} {spec.domain:24s} {spec.question}"
+        )
+    return 0
+
+
+def _command_export(args) -> int:
+    dataset = load_domain(args.domain, seed=args.seed)
+    for path in export_dataset(dataset, args.directory):
+        print(path)
+    return 0
+
+
+_COMMANDS = {
+    "bench": _command_bench,
+    "query": _command_query,
+    "sql": _command_sql,
+    "suite": _command_suite,
+    "export": _command_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Query-execution (exec) step implementations."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.data.base import Dataset
+from repro.db import Database
+from repro.embed import serialize_row
+from repro.vector.flat import FlatIndex
+
+
+class SQLExecutor:
+    """exec over the relational engine: SQL text -> list of records."""
+
+    def __init__(self, db: Database, max_rows: int | None = None) -> None:
+        self.db = db
+        self.max_rows = max_rows
+
+    def execute(self, query: str) -> list[dict[str, Any]]:
+        result = self.db.execute(query)
+        rows = result.rows
+        if self.max_rows is not None:
+            rows = rows[: self.max_rows]
+        return [dict(zip(result.columns, row)) for row in rows]
+
+
+class VectorSearchExecutor:
+    """exec over a vector store: query embedding -> top-k row records.
+
+    Builds a row-level index over every table of the dataset on first
+    use (each row serialized "- col: val", as in the paper's RAG
+    baseline) and serves similarity lookups against it.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        embedder,
+        k: int = 10,
+        index: FlatIndex | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.embedder = embedder
+        self.k = k
+        self._index = index
+        self._records: list[dict[str, Any]] = []
+        self._built = False
+
+    def _build(self) -> None:
+        texts: list[str] = []
+        for table_name in self.dataset.db.table_names:
+            table = self.dataset.db.table(table_name)
+            names = table.schema.column_names
+            for row in table.rows:
+                record = dict(zip(names, row))
+                self._records.append(record)
+                texts.append(serialize_row(record))
+        vectors = self.embedder.embed_batch(texts)
+        if self._index is None:
+            self._index = FlatIndex(self.embedder.dimensions)
+        self._index.add(vectors)
+        self._built = True
+
+    @property
+    def corpus_size(self) -> int:
+        if not self._built:
+            self._build()
+        return len(self._records)
+
+    def execute(self, query: np.ndarray) -> list[dict[str, Any]]:
+        if not self._built:
+            self._build()
+        indices, _scores = self._index.search(query, self.k)
+        return [self._records[int(index)] for index in indices]

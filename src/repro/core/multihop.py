@@ -1,0 +1,92 @@
+"""Multi-hop TAG: chaining syn/exec/gen iterations.
+
+The paper defines TAG "tractably as a single iteration of these steps,
+but one can consider extending TAG in a multi-hop fashion" (§2) and
+names the agentic loop as future work (§5).  :class:`TAGChain` is that
+extension in its deterministic form: a sequence of hops where each
+hop's request template may splice in the previous hop's answer
+(``{answer}``) and the original request (``{request}``)::
+
+    chain = TAGChain([
+        Hop("Which circuit located in Southeast Asia hosted the most "
+            "races?", pipeline_one),
+        Hop("Provide information about the races held on {answer}.",
+            pipeline_two),
+    ])
+    result = chain.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tag import TAGPipeline, TAGResult
+from repro.errors import ReproError
+
+
+@dataclass
+class Hop:
+    """One chain stage: a request template plus the pipeline to run it.
+
+    The template may reference ``{answer}`` (previous hop's answer,
+    empty string on the first hop) and ``{request}`` (the original
+    request passed to :meth:`TAGChain.run`).
+    """
+
+    template: str
+    pipeline: TAGPipeline
+
+
+@dataclass
+class ChainResult:
+    """All hop results plus the final answer."""
+
+    hops: list[TAGResult] = field(default_factory=list)
+
+    @property
+    def answer(self):
+        return self.hops[-1].answer if self.hops else None
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.hops) and all(hop.ok for hop in self.hops)
+
+
+class TAGChain:
+    """Run hops in order, feeding each answer into the next template.
+
+    A failed hop stops the chain (its error is on the hop's result);
+    downstream hops never run with a poisoned ``{answer}``.
+    """
+
+    def __init__(self, hops: list[Hop]) -> None:
+        if not hops:
+            raise ReproError("TAGChain requires at least one hop")
+        self.hops = list(hops)
+
+    def run(self, request: str = "") -> ChainResult:
+        result = ChainResult()
+        previous_answer = ""
+        for hop in self.hops:
+            hop_request = hop.template.replace(
+                "{request}", request
+            ).replace("{answer}", _as_text(previous_answer))
+            hop_result = hop.pipeline.run(hop_request)
+            result.hops.append(hop_result)
+            if not hop_result.ok:
+                break
+            previous_answer = hop_result.answer
+        return result
+
+
+def _as_text(answer) -> str:
+    """Render a hop answer for splicing into the next request."""
+    if answer is None:
+        return ""
+    if isinstance(answer, str):
+        return answer
+    if isinstance(answer, (list, tuple)):
+        if len(answer) == 1:
+            return _as_text(answer[0])
+        return ", ".join(_as_text(value) for value in answer)
+    return str(answer)

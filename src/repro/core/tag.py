@@ -1,0 +1,82 @@
+"""TAGPipeline: the composed syn -> exec -> gen loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.errors import ReproError
+
+
+@dataclass
+class TAGResult:
+    """Outcome of one TAG run.
+
+    ``query`` is whatever ``syn`` produced (SQL text, an embedding
+    request, ...); ``table`` is the data ``exec`` computed (a list of
+    records); ``answer`` is the final natural-language answer or value
+    list.  ``error`` carries the failure when a step raised — the
+    benchmark counts errored queries as incorrect, as the paper does
+    for invalid generated SQL and context-length failures.
+    """
+
+    request: str
+    query: Any = None
+    table: list[dict[str, Any]] = field(default_factory=list)
+    answer: Any = None
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SynthesisStep(Protocol):
+    """syn(R) -> Q (paper Eq. 1)."""
+
+    def synthesize(self, request: str) -> Any: ...  # noqa: E704
+
+
+class ExecutionStep(Protocol):
+    """exec(Q) -> T (paper Eq. 2)."""
+
+    def execute(self, query: Any) -> list[dict[str, Any]]: ...  # noqa: E704
+
+
+class GenerationStep(Protocol):
+    """gen(R, T) -> A (paper Eq. 3)."""
+
+    def generate(
+        self, request: str, table: list[dict[str, Any]]
+    ) -> Any: ...  # noqa: E704
+
+
+class TAGPipeline:
+    """One iteration of the TAG model (the paper's tractable definition).
+
+    Exceptions from any step are captured on the result rather than
+    propagated: a TAG *system* must report an answer (or lack of one)
+    for every request, and the benchmark scores failures as incorrect.
+    """
+
+    def __init__(
+        self,
+        synthesis: SynthesisStep,
+        execution: ExecutionStep,
+        generation: GenerationStep,
+    ) -> None:
+        self.synthesis = synthesis
+        self.execution = execution
+        self.generation = generation
+
+    def run(self, request: str) -> TAGResult:
+        result = TAGResult(request=request)
+        try:
+            result.query = self.synthesis.synthesize(request)
+            result.table = self.execution.execute(result.query)
+            result.answer = self.generation.generate(
+                request, result.table
+            )
+        except ReproError as error:
+            result.error = error
+        return result

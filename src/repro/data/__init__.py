@@ -1,0 +1,27 @@
+"""Synthetic BIRD-like datasets.
+
+The paper's benchmark draws on five BIRD domains.  BIRD's data is not
+redistributable offline, so each domain here is a seeded generator
+producing schema-compatible tables whose contents line up with the
+shared world-knowledge fact store — e.g. the ``formula_1`` races table
+is built from the same Sepang 1999-2017 history the LM "knows", just as
+BIRD's real data lines up with a real LM's world knowledge.
+
+Use :func:`load_domain` / :func:`load_all`::
+
+    dataset = load_domain("california_schools", seed=0)
+    dataset.db.execute("SELECT COUNT(*) FROM schools")
+    dataset.frames["schools"].sort_values("Longitude")
+"""
+
+from repro.data.base import Dataset, load_all, load_domain
+
+DOMAINS = (
+    "california_schools",
+    "codebase_community",
+    "formula_1",
+    "european_football_2",
+    "debit_card_specializing",
+)
+
+__all__ = ["DOMAINS", "Dataset", "load_all", "load_domain"]

@@ -1,0 +1,253 @@
+"""codebase_community: a statistics Q&A community (posts/comments/users).
+
+This is the benchmark's *reasoning* domain: post titles span a wide
+technicality range and comments span sentiment/sarcasm registers, so
+queries like "top 3 most sarcastic comments" or "order titles from most
+technical to least technical" have graded, human-recognisable answers.
+The specific post the paper's Appendix A aggregation query names —
+"How does gentle boosting differ from AdaBoost?" — exists with a fixed
+comment thread.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.base import Dataset, frames_from_db
+from repro.db import Column, Database, DataType, ForeignKey, TableSchema
+
+#: Post titles, roughly ordered from most to least technical.
+POST_TITLES: list[str] = [
+    "How does gentle boosting differ from AdaBoost?",
+    "Deriving the bias-variance decomposition for ridge regression",
+    "Eigenvalue shrinkage in high-dimensional covariance estimation",
+    "Why does SGD with momentum escape saddle points faster?",
+    "Closed-form posterior for conjugate Gaussian likelihoods",
+    "Regularization paths for L1-penalized logistic regression",
+    "Backpropagation through a softmax-cross-entropy layer",
+    "Asymptotic variance of the maximum likelihood estimator",
+    "Kernel trick intuition for support vector machines",
+    "Cross-validation strategies for time series data",
+    "How to interpret interaction terms in linear regression?",
+    "Bootstrap confidence intervals for the median",
+    "When should I use a random forest over gradient boosting?",
+    "Detecting multicollinearity with variance inflation factors",
+    "What does a QQ-plot actually show?",
+    "Difference between probability and likelihood",
+    "How many samples do I need for a t-test?",
+    "Is my histogram skewed or is it just me?",
+    "What statistics course should I take first?",
+    "Book recommendations for learning statistics",
+    "How do I get started with data analysis?",
+    "Why do people love box plots so much?",
+    "Favorite visualization of the central limit theorem",
+    "Is statistics a good career path?",
+    "How do you explain p-values to your boss?",
+    "Fun datasets for teaching intro stats",
+    "Does anyone actually enjoy cleaning data?",
+    "What is your favorite statistics joke?",
+    "Coffee consumption and productivity, anecdotes welcome",
+    "Weekend reading suggestions, nothing too heavy",
+]
+
+#: Comment texts with intended register markers for the generators:
+#: plain-positive, plain-negative, neutral, and sarcastic.
+POSITIVE_COMMENTS = [
+    "Excellent answer, the derivation is clear and helpful.",
+    "This is a wonderful explanation, thank you so much.",
+    "Great example, it made the concept finally click for me.",
+    "Really impressive write-up, clean and rigorous.",
+    "Lovely intuition, I recommend this answer to my students.",
+    "Fantastic summary, the references are very helpful too.",
+    "This solid walkthrough saved me hours, brilliant work.",
+]
+NEGATIVE_COMMENTS = [
+    "This answer is misleading and the notation is a mess.",
+    "Disappointing, the key assumption is never stated.",
+    "The proof is broken, the second step does not follow.",
+    "Confusing write-up, the example contradicts the claim.",
+    "This is a poor explanation and the plot is mislabeled.",
+    "Weak answer, it ignores the heteroscedasticity issue entirely.",
+]
+NEUTRAL_COMMENTS = [
+    "See also the 2009 survey on ensemble methods.",
+    "Which software did you use for the simulation?",
+    "The link to the dataset appears to be down.",
+    "Could you share the code for the figure?",
+    "There is a related question from last year worth linking.",
+    "Section 4.3 of the textbook covers this case.",
+]
+SARCASTIC_COMMENTS = [
+    "Oh great, another 'proof' that skips the hard part entirely.",
+    "Yeah right, because that always works on real data.",
+    "Brilliant plan, just assume the residuals behave. What could "
+    "possibly go wrong?",
+    "Thanks a lot, now my model is 'converging' to garbage even faster.",
+    "Wow, a genius idea: just collect more data. How original.",
+    "Oh sure, p equals 0.049, clearly the best science ever.",
+    "Totally rigorous: eyeball the plot and call it significant. Slow "
+    "clap.",
+    "Just what I needed, a ten-line formula with no definitions. "
+    "Obviously self-explanatory.",
+]
+
+_FIRST_NAMES = [
+    "Alex", "Bianca", "Chen", "Dmitri", "Elena", "Farid", "Grace",
+    "Hiro", "Ines", "Jonas", "Katya", "Liam", "Mina", "Noor", "Otto",
+    "Priya", "Quinn", "Rosa", "Sven", "Tara",
+]
+
+
+def build(seed: int = 0, comments_per_post: int = 6) -> Dataset:
+    """Generate the domain deterministically from ``seed``."""
+    rng = random.Random(("codebase_community", seed).__repr__())
+    db = Database("codebase_community")
+    db.create_table(
+        TableSchema(
+            "users",
+            [
+                Column("Id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("DisplayName", DataType.TEXT),
+                Column("Reputation", DataType.INTEGER),
+                Column("Location", DataType.TEXT),
+                Column("Age", DataType.INTEGER),
+                Column("CreationDate", DataType.TEXT),
+                Column("Views", DataType.INTEGER),
+                Column("UpVotes", DataType.INTEGER),
+                Column("DownVotes", DataType.INTEGER),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "posts",
+            [
+                Column("Id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("PostTypeId", DataType.INTEGER),
+                Column("Title", DataType.TEXT),
+                Column("Body", DataType.TEXT),
+                Column("Tags", DataType.TEXT),
+                Column("ViewCount", DataType.INTEGER),
+                Column("Score", DataType.INTEGER),
+                Column("AnswerCount", DataType.INTEGER),
+                Column("CommentCount", DataType.INTEGER),
+                Column("FavoriteCount", DataType.INTEGER),
+                Column("OwnerUserId", DataType.INTEGER),
+                Column("CreationDate", DataType.TEXT),
+                Column("LastActivityDate", DataType.TEXT),
+            ],
+            foreign_keys=[ForeignKey("OwnerUserId", "users", "Id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "comments",
+            [
+                Column("Id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("PostId", DataType.INTEGER),
+                Column("Text", DataType.TEXT),
+                Column("Score", DataType.INTEGER),
+                Column("UserId", DataType.INTEGER),
+                Column("CreationDate", DataType.TEXT),
+            ],
+            foreign_keys=[
+                ForeignKey("PostId", "posts", "Id"),
+                ForeignKey("UserId", "users", "Id"),
+            ],
+        )
+    )
+
+    locations = [
+        "London", "Berlin", "San Francisco", "Toronto", "Bangalore",
+        "Sydney", "Amsterdam", "Zurich", None,
+    ]
+    for user_id, name in enumerate(_FIRST_NAMES, start=1):
+        db.insert(
+            "users",
+            [
+                [
+                    user_id,
+                    f"{name}_{user_id}",
+                    rng.randint(10, 25_000),
+                    rng.choice(locations),
+                    rng.choice([None, rng.randint(19, 65)]),
+                    f"20{rng.randint(9, 14):02d}-0{rng.randint(1, 9)}-"
+                    f"{rng.randint(10, 28)}",
+                    rng.randint(0, 5000),
+                    rng.randint(0, 2000),
+                    rng.randint(0, 200),
+                ]
+            ],
+        )
+
+    comment_pool = (
+        [(text, "positive") for text in POSITIVE_COMMENTS]
+        + [(text, "negative") for text in NEGATIVE_COMMENTS]
+        + [(text, "neutral") for text in NEUTRAL_COMMENTS]
+        + [(text, "sarcastic") for text in SARCASTIC_COMMENTS]
+    )
+    comment_id = 0
+    for post_id, title in enumerate(POST_TITLES, start=1):
+        view_count = rng.randint(50, 20_000)
+        # Make the view-count ordering unambiguous at the top so
+        # "5 posts with highest popularity" has a stable gold answer.
+        if post_id <= 5:
+            view_count = 40_000 - post_id * 2_500 + rng.randint(0, 500)
+        tags = rng.sample(
+            ["regression", "machine-learning", "probability",
+             "hypothesis-testing", "bayesian", "time-series",
+             "classification", "distributions", "self-study"],
+            k=rng.randint(1, 3),
+        )
+        db.insert(
+            "posts",
+            [
+                [
+                    post_id,
+                    1,
+                    title,
+                    f"Question body for: {title}",
+                    "<" + "><".join(tags) + ">",
+                    view_count,
+                    rng.randint(-2, 120),
+                    rng.randint(0, 8),
+                    comments_per_post,
+                    rng.randint(0, 30),
+                    rng.randint(1, len(_FIRST_NAMES)),
+                    f"201{rng.randint(0, 5)}-0{rng.randint(1, 9)}-"
+                    f"{rng.randint(10, 28)}",
+                    f"201{rng.randint(5, 6)}-0{rng.randint(1, 9)}-"
+                    f"{rng.randint(10, 28)}",
+                ]
+            ],
+        )
+        chosen = rng.sample(
+            comment_pool, k=min(comments_per_post, len(comment_pool))
+        )
+        for text, _register in chosen:
+            comment_id += 1
+            db.insert(
+                "comments",
+                [
+                    [
+                        comment_id,
+                        post_id,
+                        text,
+                        rng.randint(0, 40),
+                        rng.randint(1, len(_FIRST_NAMES)),
+                        f"201{rng.randint(1, 6)}-1{rng.randint(0, 1)}-"
+                        f"{rng.randint(10, 28)}",
+                    ]
+                ],
+            )
+    db.create_index("posts", "Id")
+    db.create_index("comments", "PostId")
+    return Dataset(
+        name="codebase_community",
+        db=db,
+        description=(
+            "A statistics Q&A community: posts with graded technicality, "
+            "comments with graded sentiment and sarcasm, and users."
+        ),
+        frames=frames_from_db(db),
+    )

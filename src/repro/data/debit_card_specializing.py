@@ -1,0 +1,163 @@
+"""debit_card_specializing: fuel-card customers and transactions.
+
+Customers and gas stations span Central European countries, so the
+Eurozone/EU facts in the knowledge store ("customers in countries that
+use the Euro") gate knowledge queries the same way BIRD's Czech/Slovak
+data does in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.base import Dataset, frames_from_db
+from repro.db import Column, Database, DataType, ForeignKey, TableSchema
+
+#: Countries gas stations operate in, with relative frequency weights.
+_COUNTRIES = [
+    ("Czech Republic", 5),
+    ("Slovakia", 3),
+    ("Germany", 2),
+    ("Austria", 2),
+    ("Poland", 2),
+    ("Hungary", 1),
+    ("Slovenia", 1),
+    ("Switzerland", 1),
+]
+_SEGMENTS = ["SME", "LAM", "KAM", "Discount"]
+_PRODUCTS = {2: 11.5, 5: 25.2, 9: 42.7, 23: 9.1}  # ProductID -> unit price
+
+
+def build(
+    seed: int = 0,
+    customers: int = 60,
+    stations: int = 40,
+    transactions: int = 600,
+) -> Dataset:
+    """Generate the domain deterministically from ``seed``."""
+    rng = random.Random(("debit_card_specializing", seed).__repr__())
+    db = Database("debit_card_specializing")
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("CustomerID", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("Segment", DataType.TEXT),
+                Column("Currency", DataType.TEXT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "gasstations",
+            [
+                Column("GasStationID", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("ChainID", DataType.INTEGER),
+                Column("Country", DataType.TEXT),
+                Column("Segment", DataType.TEXT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "transactions_1k",
+            [
+                Column("TransactionID", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("Date", DataType.TEXT),
+                Column("Time", DataType.TEXT),
+                Column("CustomerID", DataType.INTEGER),
+                Column("CardID", DataType.INTEGER),
+                Column("GasStationID", DataType.INTEGER),
+                Column("ProductID", DataType.INTEGER),
+                Column("Amount", DataType.INTEGER),
+                Column("Price", DataType.REAL),
+            ],
+            foreign_keys=[
+                ForeignKey("CustomerID", "customers", "CustomerID"),
+                ForeignKey("GasStationID", "gasstations", "GasStationID"),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "yearmonth",
+            [
+                Column("CustomerID", DataType.INTEGER, nullable=False),
+                Column("Date", DataType.TEXT),
+                Column("Consumption", DataType.REAL),
+            ],
+            foreign_keys=[
+                ForeignKey("CustomerID", "customers", "CustomerID")
+            ],
+        )
+    )
+
+    for customer_id in range(1, customers + 1):
+        currency = "EUR" if rng.random() < 0.45 else "CZK"
+        db.insert(
+            "customers",
+            [[customer_id, rng.choice(_SEGMENTS), currency]],
+        )
+
+    weighted_countries = [
+        country for country, weight in _COUNTRIES for _ in range(weight)
+    ]
+    for station_id in range(1, stations + 1):
+        db.insert(
+            "gasstations",
+            [
+                [
+                    station_id,
+                    rng.randint(1, 8),
+                    rng.choice(weighted_countries),
+                    rng.choice(_SEGMENTS),
+                ]
+            ],
+        )
+
+    for transaction_id in range(1, transactions + 1):
+        product_id = rng.choice(list(_PRODUCTS))
+        amount = rng.randint(1, 80)
+        price = round(_PRODUCTS[product_id] * rng.uniform(0.9, 1.15), 2)
+        db.insert(
+            "transactions_1k",
+            [
+                [
+                    transaction_id,
+                    f"2012-{rng.randint(1, 12):02d}-"
+                    f"{rng.randint(1, 28):02d}",
+                    f"{rng.randint(6, 22):02d}:{rng.randint(0, 59):02d}:00",
+                    rng.randint(1, customers),
+                    rng.randint(100000, 999999),
+                    rng.randint(1, stations),
+                    product_id,
+                    amount,
+                    price,
+                ]
+            ],
+        )
+
+    for customer_id in range(1, customers + 1):
+        for month in (6, 7, 8):
+            db.insert(
+                "yearmonth",
+                [
+                    [
+                        customer_id,
+                        f"2012{month:02d}",
+                        round(rng.uniform(100.0, 9000.0), 2),
+                    ]
+                ],
+            )
+    db.create_index("transactions_1k", "CustomerID")
+    db.create_index("transactions_1k", "GasStationID")
+    db.create_index("gasstations", "GasStationID")
+    return Dataset(
+        name="debit_card_specializing",
+        db=db,
+        description=(
+            "Fuel-card customers, gas stations across Central Europe, "
+            "transactions, and monthly consumption."
+        ),
+        frames=frames_from_db(db),
+    )

@@ -1,0 +1,225 @@
+"""formula_1: circuits, races, drivers, and results.
+
+Built directly from the Formula 1 fact store, so the ``races`` table
+contains exactly the seasons each circuit really hosted (Sepang
+1999-2017 etc.) — the alignment the Figure 2 aggregation query needs.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.data.base import Dataset, frames_from_db
+from repro.db import Column, Database, DataType, ForeignKey, TableSchema
+from repro.knowledge import formula1 as facts
+
+#: Driver roster (forename, surname, nationality, date of birth).
+DRIVERS: list[tuple[str, str, str, str]] = [
+    ("Lewis", "Hamilton", "British", "1985-01-07"),
+    ("Michael", "Schumacher", "German", "1969-01-03"),
+    ("Sebastian", "Vettel", "German", "1987-07-03"),
+    ("Fernando", "Alonso", "Spanish", "1981-07-29"),
+    ("Kimi", "Raikkonen", "Finnish", "1979-10-17"),
+    ("Mika", "Hakkinen", "Finnish", "1968-09-28"),
+    ("Jenson", "Button", "British", "1980-01-19"),
+    ("Nico", "Rosberg", "German", "1985-06-27"),
+    ("Felipe", "Massa", "Brazilian", "1981-04-25"),
+    ("Rubens", "Barrichello", "Brazilian", "1972-05-23"),
+    ("Mark", "Webber", "Australian", "1976-08-27"),
+    ("Daniel", "Ricciardo", "Australian", "1989-07-01"),
+    ("Valtteri", "Bottas", "Finnish", "1989-08-28"),
+    ("Sergio", "Perez", "Mexican", "1990-01-26"),
+    ("Romain", "Grosjean", "French", "1986-04-17"),
+    ("Nico", "Hulkenberg", "German", "1987-08-19"),
+    ("Carlos", "Sainz", "Spanish", "1994-09-01"),
+    ("Juan Pablo", "Montoya", "Colombian", "1975-09-20"),
+    ("Ralf", "Schumacher", "German", "1975-06-30"),
+    ("Max", "Verstappen", "Dutch", "1997-09-30"),
+]
+
+_POINTS_BY_POSITION = [25.0, 18.0, 15.0, 12.0, 10.0, 8.0, 6.0, 4.0, 2.0, 1.0]
+
+
+def build(seed: int = 0, results_per_race: int = 10) -> Dataset:
+    """Generate the domain from the F1 fact store and ``seed``."""
+    rng = random.Random(("formula_1", seed).__repr__())
+    db = Database("formula_1")
+    db.create_table(
+        TableSchema(
+            "circuits",
+            [
+                Column("circuitId", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("circuitRef", DataType.TEXT),
+                Column("name", DataType.TEXT),
+                Column("location", DataType.TEXT),
+                Column("country", DataType.TEXT),
+                Column("lat", DataType.REAL),
+                Column("lng", DataType.REAL),
+                Column("url", DataType.TEXT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "races",
+            [
+                Column("raceId", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("year", DataType.INTEGER),
+                Column("round", DataType.INTEGER),
+                Column("circuitId", DataType.INTEGER),
+                Column("name", DataType.TEXT),
+                Column("date", DataType.TEXT),
+                Column("time", DataType.TEXT),
+            ],
+            foreign_keys=[ForeignKey("circuitId", "circuits", "circuitId")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "drivers",
+            [
+                Column("driverId", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("driverRef", DataType.TEXT),
+                Column("forename", DataType.TEXT),
+                Column("surname", DataType.TEXT),
+                Column("nationality", DataType.TEXT),
+                Column("dob", DataType.TEXT),
+                Column("code", DataType.TEXT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "results",
+            [
+                Column("resultId", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("raceId", DataType.INTEGER),
+                Column("driverId", DataType.INTEGER),
+                Column("grid", DataType.INTEGER),
+                Column("position", DataType.INTEGER),
+                Column("points", DataType.REAL),
+                Column("laps", DataType.INTEGER),
+            ],
+            foreign_keys=[
+                ForeignKey("raceId", "races", "raceId"),
+                ForeignKey("driverId", "drivers", "driverId"),
+            ],
+        )
+    )
+
+    circuit_ids: dict[str, int] = {}
+    for circuit_id, circuit in enumerate(facts.CIRCUITS, start=1):
+        circuit_ids[circuit.name] = circuit_id
+        ref = circuit.name.lower().replace(" ", "_")
+        db.insert(
+            "circuits",
+            [
+                [
+                    circuit_id,
+                    ref,
+                    circuit.name,
+                    circuit.location,
+                    circuit.country,
+                    round(rng.uniform(-37.0, 53.0), 4),
+                    round(rng.uniform(-97.0, 140.0), 4),
+                    f"http://en.wikipedia.org/wiki/{ref}",
+                ]
+            ],
+        )
+
+    driver_ids: dict[str, int] = {}
+    for driver_id, (forename, surname, nationality, dob) in enumerate(
+        DRIVERS, start=1
+    ):
+        driver_ids[f"{forename} {surname}"] = driver_id
+        db.insert(
+            "drivers",
+            [
+                [
+                    driver_id,
+                    surname.lower().replace(" ", "_"),
+                    forename,
+                    surname,
+                    nationality,
+                    dob,
+                    surname[:3].upper(),
+                ]
+            ],
+        )
+
+    # Build the season calendars: all circuit-years, ordered by month
+    # within a year to assign rounds.
+    events: dict[int, list[str]] = {}
+    for circuit_name, years in facts.RACE_HISTORY.items():
+        for year in years:
+            events.setdefault(year, []).append(circuit_name)
+    race_id = 0
+    result_id = 0
+    for year in sorted(events):
+        calendar = sorted(
+            events[year],
+            key=lambda name: (facts.TYPICAL_RACE_MONTH[name], name),
+        )
+        for round_number, circuit_name in enumerate(calendar, start=1):
+            race_id += 1
+            month = facts.TYPICAL_RACE_MONTH[circuit_name]
+            day = 7 + (
+                zlib.crc32(f"{circuit_name}|{year}".encode()) % 21
+            )
+            gp_name = facts.GRAND_PRIX_NAME[circuit_name]
+            db.insert(
+                "races",
+                [
+                    [
+                        race_id,
+                        year,
+                        round_number,
+                        circuit_ids[circuit_name],
+                        gp_name,
+                        f"{year}-{month:02d}-{day:02d}",
+                        f"{rng.randint(12, 15)}:00:00",
+                    ]
+                ],
+            )
+            # Results: the season's champion is biased toward winning.
+            champion = facts.WORLD_CHAMPIONS.get(year)
+            roster = list(driver_ids)
+            rng.shuffle(roster)
+            if champion in driver_ids and rng.random() < 0.55:
+                roster.remove(champion)
+                roster.insert(0, champion)
+            for position in range(1, results_per_race + 1):
+                result_id += 1
+                driver_name = roster[position - 1]
+                points = (
+                    _POINTS_BY_POSITION[position - 1]
+                    if position <= len(_POINTS_BY_POSITION)
+                    else 0.0
+                )
+                db.insert(
+                    "results",
+                    [
+                        [
+                            result_id,
+                            race_id,
+                            driver_ids[driver_name],
+                            min(20, position + rng.randint(0, 4)),
+                            position,
+                            points,
+                            rng.randint(44, 78),
+                        ]
+                    ],
+                )
+    db.create_index("races", "circuitId")
+    db.create_index("results", "raceId")
+    db.create_index("circuits", "name")
+    return Dataset(
+        name="formula_1",
+        db=db,
+        description=(
+            "Formula 1 circuits, races (1999-2017 calendars from the "
+            "fact store), drivers, and race results."
+        ),
+        frames=frames_from_db(db),
+    )

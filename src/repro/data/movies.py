@@ -1,0 +1,47 @@
+"""The Figure 1 movies table.
+
+A single ``movies`` table (title, year, genre, revenue, review) built
+from the movie fact store — the data source behind the paper's worked
+example: "Summarize the reviews of the highest grossing romance movie
+considered a 'classic'".
+"""
+
+from __future__ import annotations
+
+from repro.data.base import Dataset, frames_from_db
+from repro.db import Column, Database, DataType, TableSchema
+from repro.knowledge.movies import MOVIE_FACTS, MOVIE_REVIEWS
+
+
+def build(seed: int = 0) -> Dataset:
+    """Build the movies dataset (the seed is accepted for API symmetry
+    but the table is a fixed fact-store projection)."""
+    db = Database("movies")
+    db.create_table(
+        TableSchema(
+            "movies",
+            [
+                Column("movie_id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("movie_title", DataType.TEXT),
+                Column("year", DataType.INTEGER),
+                Column("genre", DataType.TEXT),
+                Column("revenue", DataType.REAL),
+                Column("review", DataType.TEXT),
+            ],
+        )
+    )
+    for movie_id, (title, year, genre, revenue, _classic, _conf) in (
+        enumerate(MOVIE_FACTS, start=1)
+    ):
+        reviews = MOVIE_REVIEWS.get(title, ["A watchable film."])
+        db.insert(
+            "movies",
+            [[movie_id, title, year, genre, revenue, " ".join(reviews)]],
+        )
+    db.create_index("movies", "movie_title")
+    return Dataset(
+        name="movies",
+        db=db,
+        description="The Figure 1 movies example table.",
+        frames=frames_from_db(db),
+    )

@@ -1,0 +1,233 @@
+"""The Database: catalog of tables plus the SQL execution facade."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.db import types as dbtypes
+from repro.db.expr import ExpressionCompiler
+from repro.db.functions import FunctionRegistry
+from repro.db.planner import Planner
+from repro.db.result import ResultSet, RowLayout
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_statement
+from repro.db.table import Table
+from repro.errors import PlanningError, SchemaError
+
+
+class Database:
+    """An in-memory relational database with a SQL interface.
+
+    This is the reproduction's stand-in for SQLite3.  Language-model UDFs
+    registered via :meth:`register_udf` become callable inside SQL, which
+    is how a TAG query-execution step can push semantic reasoning into
+    ``exec`` (paper §2.1/§3, "Database Execution Engine and API").
+    """
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self.functions = FunctionRegistry()
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table from ``schema``; errors if it exists."""
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (case-insensitive); errors if absent."""
+        try:
+            del self._tables[name.lower()]
+        except KeyError as exc:
+            raise SchemaError(f"no table named {name!r}") from exc
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name (case-insensitive)."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise PlanningError(f"no table named {name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name.lower() in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Declared table names, in creation order."""
+        return [table.schema.name for table in self._tables.values()]
+
+    def insert(
+        self,
+        table_name: str,
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]],
+    ) -> int:
+        """Bulk-insert rows (sequences or mappings); returns the count."""
+        return self.table(table_name).insert_many(rows)
+
+    def create_index(self, table_name: str, column_name: str) -> None:
+        """Build a hash index for equality lookups on one column."""
+        self.table(table_name).create_index(column_name)
+
+    # ------------------------------------------------------------------
+    # UDFs
+    # ------------------------------------------------------------------
+
+    def register_udf(
+        self,
+        name: str,
+        function: Callable[..., dbtypes.SQLValue],
+        expensive: bool = False,
+    ) -> None:
+        """Expose a Python callable (e.g. an LM) as a SQL function."""
+        self.functions.register_scalar(name, function, expensive=expensive)
+
+    # ------------------------------------------------------------------
+    # SQL execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, optimize: bool = True) -> ResultSet:
+        """Parse and run one SQL statement."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Select):
+            planner = Planner(self, self.functions, optimize=optimize)
+            return planner.run_select(statement)
+        if isinstance(statement, ast.CreateTable):
+            self._execute_create(statement)
+            return ResultSet([], [])
+        if isinstance(statement, ast.Insert):
+            inserted = self._execute_insert(statement)
+            return ResultSet(["rows_inserted"], [(inserted,)])
+        if isinstance(statement, ast.Update):
+            updated = self._execute_update(statement)
+            return ResultSet(["rows_updated"], [(updated,)])
+        if isinstance(statement, ast.Delete):
+            deleted = self._execute_delete(statement)
+            return ResultSet(["rows_deleted"], [(deleted,)])
+        raise PlanningError(  # pragma: no cover - parser covers all cases
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    def explain(self, sql: str, optimize: bool = True) -> str:
+        """Render the physical plan for a SELECT (diagnostics/tests)."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanningError("EXPLAIN only supports SELECT")
+        planner = Planner(self, self.functions, optimize=optimize)
+        plan, _ = planner.plan_select(statement)
+        return plan.explain()
+
+    def schema_sql(self) -> str:
+        """All CREATE TABLE statements, in the BIRD prompt encoding."""
+        return "\n\n".join(
+            table.schema.to_create_sql()
+            for table in self._tables.values()
+        )
+
+    # ------------------------------------------------------------------
+    # statement handlers
+    # ------------------------------------------------------------------
+
+    def _execute_create(self, statement: ast.CreateTable) -> None:
+        columns = [
+            Column(
+                definition.name,
+                dbtypes.DataType.from_sql(definition.type_name),
+                nullable=not (definition.not_null or definition.primary_key),
+                primary_key=definition.primary_key,
+            )
+            for definition in statement.columns
+        ]
+        foreign_keys = [
+            ForeignKey(fk.column, fk.parent_table, fk.parent_column)
+            for fk in statement.foreign_keys
+        ]
+        self.create_table(TableSchema(statement.name, columns, foreign_keys))
+
+    def _execute_insert(self, statement: ast.Insert) -> int:
+        table = self.table(statement.table)
+        compiler = ExpressionCompiler(RowLayout([]), self.functions)
+        count = 0
+        for row_expressions in statement.rows:
+            values = [
+                compiler.compile(expression)(())
+                for expression in row_expressions
+            ]
+            if statement.columns:
+                table.insert(dict(zip(statement.columns, values)))
+            else:
+                table.insert(values)
+            count += 1
+        return count
+
+    def _execute_update(self, statement: ast.Update) -> int:
+        from repro.db.expr import is_true
+
+        table = self.table(statement.table)
+        layout = RowLayout(
+            [
+                (statement.table, name)
+                for name in table.schema.column_names
+            ]
+        )
+        compiler = ExpressionCompiler(layout, self.functions)
+        predicate = (
+            compiler.compile(statement.where)
+            if statement.where is not None
+            else None
+        )
+        assignments = [
+            (table.schema.column_index(column), compiler.compile(value))
+            for column, value in statement.assignments
+        ]
+        updated = 0
+        new_rows: list[list] = []
+        for row in table.rows:
+            if predicate is None or is_true(predicate(row)):
+                updated += 1
+                mutable = list(row)
+                for position, evaluate in assignments:
+                    mutable[position] = evaluate(row)
+                new_rows.append(mutable)
+            else:
+                new_rows.append(list(row))
+        table.replace_all(new_rows)
+        return updated
+
+    def _execute_delete(self, statement: ast.Delete) -> int:
+        from repro.db.expr import is_true
+
+        table = self.table(statement.table)
+        layout = RowLayout(
+            [
+                (statement.table, name)
+                for name in table.schema.column_names
+            ]
+        )
+        compiler = ExpressionCompiler(layout, self.functions)
+        predicate = (
+            compiler.compile(statement.where)
+            if statement.where is not None
+            else None
+        )
+        survivors = [
+            list(row)
+            for row in table.rows
+            if predicate is not None and not is_true(predicate(row))
+        ]
+        deleted = len(table) - len(survivors)
+        table.replace_all(survivors)
+        return deleted
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names})"

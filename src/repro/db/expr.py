@@ -1,0 +1,449 @@
+"""Expression compilation: AST expression -> callable over a row tuple.
+
+Expressions are compiled once at plan time into nested closures, so
+per-row evaluation does no AST walking.  SQL three-valued logic is
+implemented throughout: comparisons involving NULL yield NULL, AND/OR
+short-circuit per Kleene logic, and WHERE treats NULL as false (the
+executor applies ``is_true`` to predicate results).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.db import types as dbtypes
+from repro.db.result import RowLayout
+from repro.db.sql import ast
+from repro.db.types import SQLValue
+from repro.errors import ExecutionError, PlanningError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.functions import FunctionRegistry
+    from repro.db.planner import Planner
+
+Row = tuple[SQLValue, ...]
+Evaluator = Callable[[Row], SQLValue]
+
+
+def is_true(value: SQLValue) -> bool:
+    """WHERE-clause truthiness: NULL and false are both rejections."""
+    return value is not None and bool(value)
+
+
+class ExpressionCompiler:
+    """Compiles expressions against one row layout.
+
+    ``subquery_planner`` is consulted lazily for subquery expressions;
+    subquery results are computed on first use and cached, so an
+    uncorrelated ``IN (SELECT ...)`` executes its inner query once.
+    """
+
+    def __init__(
+        self,
+        layout: RowLayout,
+        functions: "FunctionRegistry",
+        subquery_planner: "Planner | None" = None,
+    ) -> None:
+        self._layout = layout
+        self._functions = functions
+        self._subquery_planner = subquery_planner
+
+    def compile(self, expression: ast.Expression) -> Evaluator:
+        method_name = "_compile_" + type(expression).__name__.lower()
+        method = getattr(self, method_name, None)
+        if method is None:
+            raise PlanningError(
+                f"unsupported expression node {type(expression).__name__}"
+            )
+        return method(expression)
+
+    # -- leaves ------------------------------------------------------------
+
+    def _compile_literal(self, node: ast.Literal) -> Evaluator:
+        value = node.value
+        return lambda row: value
+
+    def _compile_columnref(self, node: ast.ColumnRef) -> Evaluator:
+        position = self._layout.resolve(node.name, node.table)
+        return lambda row: row[position]
+
+    def _compile_star(self, node: ast.Star) -> Evaluator:
+        raise PlanningError("'*' is only valid in SELECT items or COUNT(*)")
+
+    # -- operators ----------------------------------------------------------
+
+    def _compile_unaryop(self, node: ast.UnaryOp) -> Evaluator:
+        operand = self.compile(node.operand)
+        if node.op == "NOT":
+
+            def negate(row: Row) -> SQLValue:
+                value = operand(row)
+                if value is None:
+                    return None
+                return not bool(value)
+
+            return negate
+        if node.op == "-":
+
+            def minus(row: Row) -> SQLValue:
+                value = operand(row)
+                if value is None:
+                    return None
+                if not isinstance(value, (int, float)):
+                    raise ExecutionError(f"cannot negate {value!r}")
+                return -value
+
+            return minus
+        if node.op == "+":
+            return operand
+        raise PlanningError(f"unknown unary operator {node.op!r}")
+
+    def _compile_binaryop(self, node: ast.BinaryOp) -> Evaluator:
+        if node.op == "AND":
+            return self._compile_and(node)
+        if node.op == "OR":
+            return self._compile_or(node)
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        if node.op in ("+", "-", "*", "/", "%"):
+            return _arithmetic(node.op, left, right)
+        if node.op in ("=", "<>", "<", "<=", ">", ">="):
+            return _comparison(node.op, left, right)
+        if node.op == "||":
+
+            def concat(row: Row) -> SQLValue:
+                lhs, rhs = left(row), right(row)
+                if lhs is None or rhs is None:
+                    return None
+                return _to_text(lhs) + _to_text(rhs)
+
+            return concat
+        raise PlanningError(f"unknown binary operator {node.op!r}")
+
+    def _compile_and(self, node: ast.BinaryOp) -> Evaluator:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+
+        def evaluate(row: Row) -> SQLValue:
+            lhs = left(row)
+            if lhs is not None and not lhs:
+                return False
+            rhs = right(row)
+            if rhs is not None and not rhs:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+
+        return evaluate
+
+    def _compile_or(self, node: ast.BinaryOp) -> Evaluator:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+
+        def evaluate(row: Row) -> SQLValue:
+            lhs = left(row)
+            if lhs is not None and lhs:
+                return True
+            rhs = right(row)
+            if rhs is not None and rhs:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return evaluate
+
+    # -- functions -----------------------------------------------------------
+
+    def _compile_functioncall(self, node: ast.FunctionCall) -> Evaluator:
+        if self._functions.is_aggregate(node.name) and not (
+            self._functions.has_scalar(node.name) and len(node.args) > 1
+        ):
+            raise PlanningError(
+                f"aggregate {node.name}() is not allowed here"
+            )
+        function = self._functions.scalar(node.name)
+        argument_evaluators = [self.compile(arg) for arg in node.args]
+
+        def call(row: Row) -> SQLValue:
+            arguments = [evaluate(row) for evaluate in argument_evaluators]
+            try:
+                return function(*arguments)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                raise ExecutionError(
+                    f"error in function {node.name}: {exc}"
+                ) from exc
+
+        return call
+
+    # -- conditionals ----------------------------------------------------------
+
+    def _compile_caseexpression(self, node: ast.CaseExpression) -> Evaluator:
+        operand = self.compile(node.operand) if node.operand else None
+        branches = [
+            (self.compile(condition), self.compile(result))
+            for condition, result in node.branches
+        ]
+        default = self.compile(node.default) if node.default else None
+
+        def evaluate(row: Row) -> SQLValue:
+            if operand is not None:
+                subject = operand(row)
+                for condition, result in branches:
+                    if dbtypes.values_equal(subject, condition(row)):
+                        return result(row)
+            else:
+                for condition, result in branches:
+                    if is_true(condition(row)):
+                        return result(row)
+            return default(row) if default is not None else None
+
+        return evaluate
+
+    def _compile_castexpression(self, node: ast.CastExpression) -> Evaluator:
+        operand = self.compile(node.operand)
+        target = dbtypes.DataType.from_sql(node.type_name)
+
+        def evaluate(row: Row) -> SQLValue:
+            value = operand(row)
+            try:
+                return dbtypes.coerce(value, target)
+            except Exception:
+                # SQLite-style lenient CAST: unparseable text becomes 0.
+                if target in (
+                    dbtypes.DataType.INTEGER,
+                    dbtypes.DataType.REAL,
+                ):
+                    return 0
+                return _to_text(value) if value is not None else None
+
+        return evaluate
+
+    # -- predicates ---------------------------------------------------------
+
+    def _compile_inlist(self, node: ast.InList) -> Evaluator:
+        operand = self.compile(node.operand)
+        items = [self.compile(item) for item in node.items]
+
+        def evaluate(row: Row) -> SQLValue:
+            subject = operand(row)
+            if subject is None:
+                return None
+            saw_null = False
+            for item in items:
+                value = item(row)
+                if value is None:
+                    saw_null = True
+                elif dbtypes.values_equal(subject, value):
+                    return not node.negated
+            if saw_null:
+                return None
+            return node.negated
+
+        return evaluate
+
+    def _compile_betweenexpression(
+        self, node: ast.BetweenExpression
+    ) -> Evaluator:
+        operand = self.compile(node.operand)
+        lower = self.compile(node.lower)
+        upper = self.compile(node.upper)
+
+        def evaluate(row: Row) -> SQLValue:
+            subject = operand(row)
+            low, high = lower(row), upper(row)
+            above = dbtypes.compare(subject, low)
+            below = dbtypes.compare(subject, high)
+            if above is None or below is None:
+                return None
+            inside = above >= 0 and below <= 0
+            return inside != node.negated
+
+        return evaluate
+
+    def _compile_likeexpression(self, node: ast.LikeExpression) -> Evaluator:
+        operand = self.compile(node.operand)
+        pattern = self.compile(node.pattern)
+        cache: dict[str, re.Pattern[str]] = {}
+
+        def evaluate(row: Row) -> SQLValue:
+            subject = operand(row)
+            pattern_text = pattern(row)
+            if subject is None or pattern_text is None:
+                return None
+            compiled = cache.get(pattern_text)
+            if compiled is None:
+                compiled = _like_to_regex(str(pattern_text))
+                cache[pattern_text] = compiled
+            matched = compiled.match(_to_text(subject)) is not None
+            return matched != node.negated
+
+        return evaluate
+
+    def _compile_isnullexpression(
+        self, node: ast.IsNullExpression
+    ) -> Evaluator:
+        operand = self.compile(node.operand)
+        if node.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
+    # -- subqueries ---------------------------------------------------------
+
+    def _subquery_values(self, select: ast.Select) -> Callable[[], list]:
+        if self._subquery_planner is None:
+            raise PlanningError("subqueries are not allowed here")
+        planner = self._subquery_planner
+        cache: list[list[Row]] = []
+
+        def fetch() -> list[Row]:
+            if not cache:
+                result = planner.run_select(select)
+                cache.append(result.rows)
+            return cache[0]
+
+        return fetch
+
+    def _compile_insubquery(self, node: ast.InSubquery) -> Evaluator:
+        operand = self.compile(node.operand)
+        fetch = self._subquery_values(node.subquery)
+        state: dict[str, object] = {}
+
+        def evaluate(row: Row) -> SQLValue:
+            subject = operand(row)
+            if subject is None:
+                return None
+            if "values" not in state:
+                rows = fetch()
+                if rows and len(rows[0]) != 1:
+                    raise ExecutionError(
+                        "IN subquery must return exactly one column"
+                    )
+                values = {row_[0] for row_ in rows if row_[0] is not None}
+                state["values"] = values
+                state["saw_null"] = any(row_[0] is None for row_ in rows)
+            values = state["values"]  # type: ignore[assignment]
+            if _hashable(subject) and subject in values:  # type: ignore[operator]
+                return not node.negated
+            if state["saw_null"]:
+                return None
+            return node.negated
+
+        return evaluate
+
+    def _compile_existssubquery(
+        self, node: ast.ExistsSubquery
+    ) -> Evaluator:
+        fetch = self._subquery_values(node.subquery)
+
+        def evaluate(row: Row) -> SQLValue:
+            exists = bool(fetch())
+            return exists != node.negated
+
+        return evaluate
+
+    def _compile_scalarsubquery(self, node: ast.ScalarSubquery) -> Evaluator:
+        fetch = self._subquery_values(node.subquery)
+
+        def evaluate(row: Row) -> SQLValue:
+            rows = fetch()
+            if not rows:
+                return None
+            if len(rows[0]) != 1:
+                raise ExecutionError(
+                    "scalar subquery must return exactly one column"
+                )
+            return rows[0][0]
+
+        return evaluate
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _hashable(value: SQLValue) -> bool:
+    try:
+        hash(value)
+        return True
+    except TypeError:  # pragma: no cover - SQLValues are always hashable
+        return False
+
+
+def _to_text(value: SQLValue) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _arithmetic(op: str, left: Evaluator, right: Evaluator) -> Evaluator:
+    def evaluate(row: Row) -> SQLValue:
+        lhs, rhs = left(row), right(row)
+        if lhs is None or rhs is None:
+            return None
+        if not isinstance(lhs, (int, float)) or not isinstance(
+            rhs, (int, float)
+        ):
+            raise ExecutionError(
+                f"arithmetic on non-numeric values {lhs!r} {op} {rhs!r}"
+            )
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                return None  # SQLite: division by zero yields NULL
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                quotient = lhs / rhs
+                return int(quotient) if quotient == int(quotient) else quotient
+            return lhs / rhs
+        if op == "%":
+            if rhs == 0:
+                return None
+            return lhs % rhs
+        raise PlanningError(f"unknown arithmetic operator {op!r}")
+
+    return evaluate
+
+
+def _comparison(op: str, left: Evaluator, right: Evaluator) -> Evaluator:
+    def evaluate(row: Row) -> SQLValue:
+        ordering = dbtypes.compare(left(row), right(row))
+        if ordering is None:
+            return None
+        if op == "=":
+            return ordering == 0
+        if op == "<>":
+            return ordering != 0
+        if op == "<":
+            return ordering < 0
+        if op == "<=":
+            return ordering <= 0
+        if op == ">":
+            return ordering > 0
+        return ordering >= 0
+
+    return evaluate
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    pieces: list[str] = []
+    for char in pattern:
+        if char == "%":
+            pieces.append(".*")
+        elif char == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(char))
+    return re.compile("^" + "".join(pieces) + "$", re.IGNORECASE | re.DOTALL)

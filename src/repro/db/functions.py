@@ -1,0 +1,259 @@
+"""Builtin scalar/aggregate functions and the UDF registry.
+
+The registry is the extension point that lets a language model run inside
+SQL: registering a callable under a name such as ``LLM`` makes
+``WHERE LLM('is a classic', movie_title) = 'yes'`` executable, the design
+the paper's Figure 1 illustrates.  UDFs may be marked *expensive*, which
+the optimizer uses to evaluate cheap relational predicates first so the
+expensive LM predicate sees as few rows as possible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.db.types import SQLValue, sort_key
+from repro.errors import ExecutionError
+
+ScalarFunction = Callable[..., SQLValue]
+
+
+@dataclass
+class AggregateSpec:
+    """An aggregate as an initial state + fold + finalizer triple."""
+
+    make_state: Callable[[], Any]
+    step: Callable[[Any, SQLValue], Any]
+    finish: Callable[[Any], SQLValue]
+
+
+class FunctionRegistry:
+    """Named scalar and aggregate functions, plus user-defined functions."""
+
+    def __init__(self) -> None:
+        self._scalars: dict[str, ScalarFunction] = {}
+        self._aggregates: dict[str, AggregateSpec] = {}
+        self._expensive: set[str] = set()
+        _register_builtin_scalars(self)
+        _register_builtin_aggregates(self)
+
+    # -- registration ----------------------------------------------------
+
+    def register_scalar(
+        self, name: str, function: ScalarFunction, expensive: bool = False
+    ) -> None:
+        """Register a scalar function (UDF) under ``name``.
+
+        ``expensive=True`` tags it for optimizer deferral (used for LM
+        UDFs, whose per-row cost dwarfs relational predicates).
+        """
+        upper = name.upper()
+        self._scalars[upper] = function
+        if expensive:
+            self._expensive.add(upper)
+
+    def register_aggregate(self, name: str, spec: AggregateSpec) -> None:
+        self._aggregates[name.upper()] = spec
+
+    # -- lookup ----------------------------------------------------------
+
+    def scalar(self, name: str) -> ScalarFunction:
+        try:
+            return self._scalars[name.upper()]
+        except KeyError as exc:
+            raise ExecutionError(f"unknown function {name!r}") from exc
+
+    def has_scalar(self, name: str) -> bool:
+        return name.upper() in self._scalars
+
+    def aggregate(self, name: str) -> AggregateSpec:
+        try:
+            return self._aggregates[name.upper()]
+        except KeyError as exc:
+            raise ExecutionError(f"unknown aggregate {name!r}") from exc
+
+    def is_aggregate(self, name: str) -> bool:
+        return name.upper() in self._aggregates
+
+    def is_expensive(self, name: str) -> bool:
+        return name.upper() in self._expensive
+
+
+# ---------------------------------------------------------------------------
+# Scalar builtins
+# ---------------------------------------------------------------------------
+
+
+def _null_if_any_null(function: ScalarFunction) -> ScalarFunction:
+    def wrapped(*args: SQLValue) -> SQLValue:
+        if any(arg is None for arg in args):
+            return None
+        return function(*args)
+
+    return wrapped
+
+
+def _substr(text: str, start: int, length: int | None = None) -> str:
+    # SQL SUBSTR is 1-based; negative start counts from the end.
+    if start > 0:
+        begin = start - 1
+    elif start < 0:
+        begin = max(len(text) + start, 0)
+    else:
+        begin = 0
+    if length is None:
+        return text[begin:]
+    if length < 0:
+        return ""
+    return text[begin : begin + length]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    # SQLite ROUND uses round-half-away-from-zero, not banker's rounding.
+    factor = 10**digits
+    scaled = value * factor
+    rounded = math.floor(abs(scaled) + 0.5) * (1 if scaled >= 0 else -1)
+    result = rounded / factor
+    return float(result)
+
+
+def _instr(haystack: str, needle: str) -> int:
+    return haystack.find(needle) + 1
+
+
+def _coalesce(*args: SQLValue) -> SQLValue:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(left: SQLValue, right: SQLValue) -> SQLValue:
+    return None if left == right else left
+
+
+def _iif(condition: SQLValue, then: SQLValue, otherwise: SQLValue) -> SQLValue:
+    return then if condition else otherwise
+
+
+def _scalar_min(*args: SQLValue) -> SQLValue:
+    if any(arg is None for arg in args):
+        return None
+    return min(args, key=sort_key)
+
+
+def _scalar_max(*args: SQLValue) -> SQLValue:
+    if any(arg is None for arg in args):
+        return None
+    return max(args, key=sort_key)
+
+
+def _register_builtin_scalars(registry: FunctionRegistry) -> None:
+    register = registry.register_scalar
+    register("ABS", _null_if_any_null(abs))
+    register("ROUND", _null_if_any_null(_round))
+    register("LENGTH", _null_if_any_null(lambda s: len(str(s))))
+    register("UPPER", _null_if_any_null(lambda s: str(s).upper()))
+    register("LOWER", _null_if_any_null(lambda s: str(s).lower()))
+    register("TRIM", _null_if_any_null(lambda s: str(s).strip()))
+    register("LTRIM", _null_if_any_null(lambda s: str(s).lstrip()))
+    register("RTRIM", _null_if_any_null(lambda s: str(s).rstrip()))
+    register(
+        "REPLACE",
+        _null_if_any_null(lambda s, old, new: str(s).replace(old, new)),
+    )
+    register("SUBSTR", _null_if_any_null(_substr))
+    register("SUBSTRING", _null_if_any_null(_substr))
+    register("INSTR", _null_if_any_null(_instr))
+    register("COALESCE", _coalesce)
+    register("IFNULL", _coalesce)
+    register("NULLIF", _nullif)
+    register("IIF", _iif)
+    register("SQRT", _null_if_any_null(math.sqrt))
+    register("FLOOR", _null_if_any_null(lambda v: float(math.floor(v))))
+    register("CEIL", _null_if_any_null(lambda v: float(math.ceil(v))))
+    register("SIGN", _null_if_any_null(lambda v: (v > 0) - (v < 0)))
+    # Multi-argument MIN/MAX are scalar (SQLite semantics); the planner
+    # routes single-argument MIN/MAX to the aggregate implementations.
+    register("MIN", _scalar_min)
+    register("MAX", _scalar_max)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate builtins
+# ---------------------------------------------------------------------------
+
+
+def _count_spec() -> AggregateSpec:
+    def step(state: int, value: SQLValue) -> int:
+        return state + (0 if value is None else 1)
+
+    return AggregateSpec(lambda: 0, step, lambda state: state)
+
+
+def _sum_spec(empty_result: SQLValue) -> AggregateSpec:
+    def step(state: SQLValue, value: SQLValue) -> SQLValue:
+        if value is None:
+            return state
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"SUM over non-numeric value {value!r}")
+        return value if state is None else state + value
+
+    def finish(state: SQLValue) -> SQLValue:
+        return empty_result if state is None else state
+
+    return AggregateSpec(lambda: None, step, finish)
+
+
+def _avg_spec() -> AggregateSpec:
+    def step(
+        state: tuple[float, int], value: SQLValue
+    ) -> tuple[float, int]:
+        if value is None:
+            return state
+        total, count = state
+        return total + float(value), count + 1
+
+    def finish(state: tuple[float, int]) -> SQLValue:
+        total, count = state
+        return None if count == 0 else total / count
+
+    return AggregateSpec(lambda: (0.0, 0), step, finish)
+
+
+def _minmax_spec(pick_max: bool) -> AggregateSpec:
+    def step(state: SQLValue, value: SQLValue) -> SQLValue:
+        if value is None:
+            return state
+        if state is None:
+            return value
+        if pick_max:
+            return value if sort_key(value) > sort_key(state) else state
+        return value if sort_key(value) < sort_key(state) else state
+
+    return AggregateSpec(lambda: None, step, lambda state: state)
+
+
+def _group_concat_spec() -> AggregateSpec:
+    def step(state: list[str], value: SQLValue) -> list[str]:
+        if value is not None:
+            state.append(str(value))
+        return state
+
+    def finish(state: list[str]) -> SQLValue:
+        return None if not state else ",".join(state)
+
+    return AggregateSpec(list, step, finish)
+
+
+def _register_builtin_aggregates(registry: FunctionRegistry) -> None:
+    registry.register_aggregate("COUNT", _count_spec())
+    registry.register_aggregate("SUM", _sum_spec(empty_result=None))
+    registry.register_aggregate("TOTAL", _sum_spec(empty_result=0.0))
+    registry.register_aggregate("AVG", _avg_spec())
+    registry.register_aggregate("MIN", _minmax_spec(pick_max=False))
+    registry.register_aggregate("MAX", _minmax_spec(pick_max=True))
+    registry.register_aggregate("GROUP_CONCAT", _group_concat_spec())

@@ -1,0 +1,406 @@
+"""Physical query plan operators (Volcano-style iterators).
+
+The planner compiles expressions at build time, so operators hold plain
+callables and iterate tuples.  Each operator exposes its output
+:class:`~repro.db.result.RowLayout` and an ``execute()`` generator, plus
+an ``explain()`` line used by tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterator
+
+from repro.db.expr import Evaluator, is_true
+from repro.db.functions import AggregateSpec
+from repro.db.result import Row, RowLayout
+from repro.db.table import Table
+from repro.db.types import SQLValue, sort_key
+
+
+class PlanNode:
+    """Base class for plan operators."""
+
+    layout: RowLayout
+
+    def execute(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        lines = ["  " * depth + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self) -> list["PlanNode"]:
+        return []
+
+
+class Scan(PlanNode):
+    """Full scan of a stored table under a binding (alias)."""
+
+    def __init__(self, table: Table, binding: str) -> None:
+        self.table = table
+        self.binding = binding
+        self.layout = RowLayout(
+            [(binding, name) for name in table.schema.column_names]
+        )
+
+    def execute(self) -> Iterator[Row]:
+        yield from self.table
+
+    def _describe(self) -> str:
+        return f"Scan({self.table.schema.name} AS {self.binding})"
+
+
+class IndexLookup(PlanNode):
+    """Point lookup via a table's hash index (``col = literal``)."""
+
+    def __init__(self, table: Table, binding: str, column: str, value: SQLValue):
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.value = value
+        self.layout = RowLayout(
+            [(binding, name) for name in table.schema.column_names]
+        )
+
+    def execute(self) -> Iterator[Row]:
+        yield from self.table.lookup(self.column, self.value)
+
+    def _describe(self) -> str:
+        return (
+            f"IndexLookup({self.table.schema.name} AS {self.binding}, "
+            f"{self.column} = {self.value!r})"
+        )
+
+
+class Filter(PlanNode):
+    def __init__(
+        self, child: PlanNode, predicate: Evaluator, label: str = ""
+    ) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+        self.layout = child.layout
+
+    def execute(self) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.execute():
+            if is_true(predicate(row)):
+                yield row
+
+    def _describe(self) -> str:
+        return f"Filter({self.label})" if self.label else "Filter"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Project(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        evaluators: list[Evaluator],
+        layout: RowLayout,
+    ) -> None:
+        self.child = child
+        self.evaluators = evaluators
+        self.layout = layout
+
+    def execute(self) -> Iterator[Row]:
+        evaluators = self.evaluators
+        for row in self.child.execute():
+            yield tuple(evaluate(row) for evaluate in evaluators)
+
+    def _describe(self) -> str:
+        return f"Project({', '.join(self.layout.names)})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Slice(PlanNode):
+    """Keeps a subset of positions from the child row (column pruning)."""
+
+    def __init__(self, child: PlanNode, positions: list[int]) -> None:
+        self.child = child
+        self.positions = positions
+        self.layout = RowLayout(
+            [child.layout.entries[position] for position in positions]
+        )
+
+    def execute(self) -> Iterator[Row]:
+        positions = self.positions
+        for row in self.child.execute():
+            yield tuple(row[position] for position in positions)
+
+    def _describe(self) -> str:
+        return f"Slice({self.positions})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class NestedLoopJoin(PlanNode):
+    """General join; materialises the right side once."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        condition: Evaluator | None,
+        kind: str,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.layout = RowLayout.concat(left.layout, right.layout)
+
+    def execute(self) -> Iterator[Row]:
+        right_rows = list(self.right.execute())
+        null_right = (None,) * len(self.right.layout)
+        condition = self.condition
+        for left_row in self.left.execute():
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if condition is None or is_true(condition(combined)):
+                    matched = True
+                    yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + null_right
+
+    def _describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class HashJoin(PlanNode):
+    """Equi-join: builds a hash table on the right side.
+
+    ``residual`` (if any) is evaluated over the combined row for extra
+    non-equi conjuncts of the ON clause.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: list[Evaluator],
+        right_keys: list[Evaluator],
+        kind: str,
+        residual: Evaluator | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.kind = kind
+        self.residual = residual
+        self.layout = RowLayout.concat(left.layout, right.layout)
+
+    def execute(self) -> Iterator[Row]:
+        buckets: dict[tuple[SQLValue, ...], list[Row]] = defaultdict(list)
+        for right_row in self.right.execute():
+            key = tuple(evaluate(right_row) for evaluate in self.right_keys)
+            if any(part is None for part in key):
+                continue  # NULL keys never match in an equi-join
+            buckets[key].append(right_row)
+        null_right = (None,) * len(self.right.layout)
+        residual = self.residual
+        for left_row in self.left.execute():
+            key = tuple(evaluate(left_row) for evaluate in self.left_keys)
+            matched = False
+            if not any(part is None for part in key):
+                for right_row in buckets.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None or is_true(residual(combined)):
+                        matched = True
+                        yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + null_right
+
+    def _describe(self) -> str:
+        return f"HashJoin({self.kind}, {len(self.left_keys)} key(s))"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class AggregateCall:
+    """One compiled aggregate invocation within an Aggregate node."""
+
+    def __init__(
+        self,
+        spec: AggregateSpec,
+        argument: Evaluator | None,  # None means COUNT(*)
+        distinct: bool,
+        name: str,
+    ) -> None:
+        self.spec = spec
+        self.argument = argument
+        self.distinct = distinct
+        self.name = name
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation over optional group keys.
+
+    Output layout: one column per group key (named by the planner)
+    followed by one column per aggregate call.  With no group keys the
+    node always emits exactly one row, even over empty input (SQL
+    semantics: ``SELECT COUNT(*) FROM empty`` is 0).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_evaluators: list[Evaluator],
+        calls: list[AggregateCall],
+        layout: RowLayout,
+    ) -> None:
+        self.child = child
+        self.group_evaluators = group_evaluators
+        self.calls = calls
+        self.layout = layout
+
+    def execute(self) -> Iterator[Row]:
+        groups: dict[tuple[SQLValue, ...], list] = {}
+        distinct_seen: dict[tuple[SQLValue, ...], list[set]] = {}
+        order: list[tuple[SQLValue, ...]] = []
+        for row in self.child.execute():
+            key = tuple(
+                evaluate(row) for evaluate in self.group_evaluators
+            )
+            if key not in groups:
+                groups[key] = [call.spec.make_state() for call in self.calls]
+                distinct_seen[key] = [set() for _ in self.calls]
+                order.append(key)
+            states = groups[key]
+            seen_sets = distinct_seen[key]
+            for position, call in enumerate(self.calls):
+                if call.argument is None:
+                    value: SQLValue = 1  # COUNT(*) counts every row
+                else:
+                    value = call.argument(row)
+                if call.distinct:
+                    if value is None or value in seen_sets[position]:
+                        continue
+                    seen_sets[position].add(value)
+                states[position] = call.spec.step(states[position], value)
+        if not self.group_evaluators and not order:
+            key = ()
+            groups[key] = [call.spec.make_state() for call in self.calls]
+            order.append(key)
+        for key in order:
+            states = groups[key]
+            finals = tuple(
+                call.spec.finish(state)
+                for call, state in zip(self.calls, states)
+            )
+            yield key + finals
+
+    def _describe(self) -> str:
+        names = ", ".join(call.name for call in self.calls)
+        return (
+            f"Aggregate(groups={len(self.group_evaluators)}, "
+            f"calls=[{names}])"
+        )
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Sort(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: list[Evaluator],
+        ascending: list[bool],
+    ) -> None:
+        self.child = child
+        self.keys = keys
+        self.ascending = ascending
+        self.layout = child.layout
+
+    def execute(self) -> Iterator[Row]:
+        rows = list(self.child.execute())
+        # Stable multi-key sort: apply keys right-to-left.
+        for evaluate, ascending in reversed(
+            list(zip(self.keys, self.ascending))
+        ):
+            rows.sort(
+                key=lambda row: sort_key(evaluate(row)), reverse=not ascending
+            )
+        yield from rows
+
+    def _describe(self) -> str:
+        return f"Sort({len(self.keys)} key(s))"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Limit(PlanNode):
+    def __init__(
+        self, child: PlanNode, limit: int | None, offset: int
+    ) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.layout = child.layout
+
+    def execute(self) -> Iterator[Row]:
+        produced = 0
+        skipped = 0
+        for row in self.child.execute():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def _describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Distinct(PlanNode):
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.layout = child.layout
+
+    def execute(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child.execute():
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Values(PlanNode):
+    """Constant rows (used for FROM-less SELECT)."""
+
+    def __init__(self, rows: list[Row], layout: RowLayout) -> None:
+        self.rows = rows
+        self.layout = layout
+
+    def execute(self) -> Iterator[Row]:
+        yield from self.rows
+
+    def _describe(self) -> str:
+        return f"Values({len(self.rows)} row(s))"

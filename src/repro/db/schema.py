@@ -1,0 +1,140 @@
+"""Table schema definitions: columns, primary keys, and foreign keys."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.db.types import DataType
+from repro.errors import SchemaError
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_ ]*$")
+
+
+def _check_identifier(name: str, what: str) -> None:
+    if not name or not _IDENTIFIER_RE.match(name):
+        raise SchemaError(f"invalid {what} name: {name!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column declaration.
+
+    BIRD schemas contain column names with embedded spaces (for example
+    ``"Academic Year"``), so identifiers permit interior spaces; SQL
+    references to such columns must use quoted identifiers.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "column")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared reference from ``column`` to ``parent_table.parent_column``.
+
+    Foreign keys are metadata used by schema rendering (the Text2SQL prompt
+    includes them) and by referential-integrity checks on insert when the
+    owning :class:`~repro.db.catalog.Database` enables enforcement.
+    """
+
+    column: str
+    parent_table: str
+    parent_column: str
+
+
+class TableSchema:
+    """Ordered column set plus key metadata for one table."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        foreign_keys: list[ForeignKey] | None = None,
+    ) -> None:
+        _check_identifier(name, "table")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        seen: set[str] = set()
+        for column in columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            seen.add(lowered)
+        self.name = name
+        self.columns = list(columns)
+        self.foreign_keys = list(foreign_keys or [])
+        self._index_by_name = {
+            column.name.lower(): position
+            for position, column in enumerate(self.columns)
+        }
+        for fk in self.foreign_keys:
+            if fk.column.lower() not in self._index_by_name:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} not in table {name!r}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def primary_key_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.primary_key]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index_by_name
+
+    def column_index(self, name: str) -> int:
+        """Position of ``name`` (case-insensitive); raises SchemaError."""
+        try:
+            return self._index_by_name[name.lower()]
+        except KeyError as exc:
+            raise SchemaError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from exc
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def to_create_sql(self) -> str:
+        """Render as a CREATE TABLE statement.
+
+        This is the schema encoding fed to the LM in the Text2SQL prompt;
+        the paper (Appendix B.1) uses the BIRD prompt format, which is a
+        plain CREATE TABLE listing.
+        """
+        lines = []
+        for column in self.columns:
+            quoted = _quote_identifier(column.name)
+            parts = [f"    {quoted} {column.dtype.value}"]
+            if column.primary_key:
+                parts.append("PRIMARY KEY")
+            if not column.nullable:
+                parts.append("NOT NULL")
+            lines.append(" ".join(parts))
+        for fk in self.foreign_keys:
+            lines.append(
+                f"    FOREIGN KEY ({_quote_identifier(fk.column)}) "
+                f"REFERENCES {fk.parent_table}"
+                f"({_quote_identifier(fk.parent_column)})"
+            )
+        body = ",\n".join(lines)
+        return f"CREATE TABLE {self.name}\n(\n{body}\n)"
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an identifier when it needs quoting (spaces, keywords-safe)."""
+    if re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", name):
+        return name
+    return '"' + name.replace('"', '""') + '"'

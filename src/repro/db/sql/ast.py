@@ -1,0 +1,249 @@
+"""AST node definitions for the SQL dialect.
+
+Expression nodes and statement nodes are plain frozen dataclasses; the
+planner walks them, so they carry no behaviour beyond ``__repr__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``t.col`` or ``col``)."""
+
+    name: str
+    table: str | None = None
+
+    def display(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``t.*`` in a projection or inside COUNT(*)."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-", "+", "NOT"
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # arithmetic, comparison, AND/OR, "||"
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str  # upper-cased
+    args: tuple["Expression", ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class CaseExpression:
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: "Expression | None"
+    branches: tuple[tuple["Expression", "Expression"], ...]
+    default: "Expression | None"
+
+
+@dataclass(frozen=True)
+class CastExpression:
+    operand: "Expression"
+    type_name: str
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expression"
+    items: tuple["Expression", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    operand: "Expression"
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsSubquery:
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class BetweenExpression:
+    operand: "Expression"
+    lower: "Expression"
+    upper: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeExpression:
+    operand: "Expression"
+    pattern: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullExpression:
+    operand: "Expression"
+    negated: bool = False
+
+
+Expression = Union[
+    Literal,
+    ColumnRef,
+    Star,
+    UnaryOp,
+    BinaryOp,
+    FunctionCall,
+    CaseExpression,
+    CastExpression,
+    InList,
+    InSubquery,
+    ExistsSubquery,
+    ScalarSubquery,
+    BetweenExpression,
+    LikeExpression,
+    IsNullExpression,
+]
+
+
+# ---------------------------------------------------------------------------
+# FROM clause sources
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableSource:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    query: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join between the accumulated left source tree and ``right``."""
+
+    kind: str  # "INNER", "LEFT", "CROSS"
+    left: "FromSource"
+    right: "FromSource"
+    condition: Expression | None
+
+
+FromSource = Union[TableSource, SubquerySource, Join]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    source: FromSource | None = None
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Expression | None = None
+    offset: Expression | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef:
+    column: str
+    parent_table: str
+    parent_column: str
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    foreign_keys: tuple[ForeignKeyDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty means all, in declaration order
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expression | None = None
+
+
+Statement = Union[Select, CreateTable, Insert, Update, Delete]

@@ -1,0 +1,581 @@
+"""Recursive-descent SQL parser.
+
+Grammar coverage (everything the TAG benchmark, the Text2SQL synthesizer,
+and the hand-written pipelines emit):
+
+- ``SELECT [DISTINCT] items FROM source [JOIN ... ON ...]* [WHERE]
+  [GROUP BY] [HAVING] [ORDER BY] [LIMIT [OFFSET]]``
+- subqueries in FROM, ``IN (SELECT ...)``, ``EXISTS``, and scalar position
+- ``CASE``, ``CAST``, ``LIKE``, ``IN (list)``, ``BETWEEN``, ``IS [NOT] NULL``
+- ``CREATE TABLE`` with PRIMARY KEY / NOT NULL / FOREIGN KEY clauses
+- ``INSERT INTO t [(cols)] VALUES (...), (...)``
+"""
+
+from __future__ import annotations
+
+from repro.db.sql import ast
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.errors import SQLSyntaxError
+
+_COMPARISON_OPERATORS = {"=", "==", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is permitted)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_end()
+    return statement
+
+
+def parse_select(sql: str) -> ast.Select:
+    """Parse SQL that must be a SELECT statement."""
+    statement = parse_statement(sql)
+    if not isinstance(statement, ast.Select):
+        raise SQLSyntaxError("expected a SELECT statement")
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        return self._current.matches_keyword(*keywords)
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            self._fail(f"expected {keyword}")
+
+    def _check_punct(self, text: str) -> bool:
+        return self._current.type is TokenType.PUNCT and (
+            self._current.text == text
+        )
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> None:
+        if not self._accept_punct(text):
+            self._fail(f"expected {text!r}")
+
+    def _check_operator(self, *texts: str) -> bool:
+        return self._current.type is TokenType.OPERATOR and (
+            self._current.text in texts
+        )
+
+    def _fail(self, message: str) -> None:
+        token = self._current
+        shown = token.text or "<end of input>"
+        raise SQLSyntaxError(
+            f"{message}, found {shown!r}", position=token.position
+        )
+
+    def expect_end(self) -> None:
+        self._accept_punct(";")
+        if self._current.type is not TokenType.EOF:
+            self._fail("unexpected trailing input")
+
+    # -- statements ------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self._check_keyword("SELECT"):
+            return self._parse_select()
+        if self._check_keyword("CREATE"):
+            return self._parse_create_table()
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("UPDATE"):
+            return self._parse_update()
+        if self._check_keyword("DELETE"):
+            return self._parse_delete()
+        self._fail("expected SELECT, CREATE, INSERT, UPDATE, or DELETE")
+        raise AssertionError  # pragma: no cover
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._parse_identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expression]:
+        column = self._parse_identifier("column name")
+        if not self._check_operator("="):
+            self._fail("expected '=' in assignment")
+        self._advance()
+        return column, self.parse_expression()
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._parse_identifier("table name")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return ast.Delete(table, where)
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._parse_identifier("table name")
+        self._expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        foreign_keys: list[ast.ForeignKeyDef] = []
+        while True:
+            if self._check_keyword("FOREIGN"):
+                foreign_keys.append(self._parse_foreign_key())
+            elif self._check_keyword("PRIMARY"):
+                self._parse_table_level_primary_key(columns)
+            else:
+                columns.append(self._parse_column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.CreateTable(name, tuple(columns), tuple(foreign_keys))
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._parse_identifier("column name")
+        type_name = self._parse_identifier("column type")
+        if self._accept_punct("("):
+            # Swallow length arguments like VARCHAR(64).
+            while not self._accept_punct(")"):
+                self._advance()
+        primary_key = False
+        not_null = False
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+            elif self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+            elif self._accept_keyword("NULL"):
+                pass
+            else:
+                break
+        return ast.ColumnDef(name, type_name, primary_key, not_null)
+
+    def _parse_table_level_primary_key(
+        self, columns: list[ast.ColumnDef]
+    ) -> None:
+        self._expect_keyword("PRIMARY")
+        self._expect_keyword("KEY")
+        self._expect_punct("(")
+        names = [self._parse_identifier("column name")]
+        while self._accept_punct(","):
+            names.append(self._parse_identifier("column name"))
+        self._expect_punct(")")
+        wanted = {name.lower() for name in names}
+        for position, column in enumerate(columns):
+            if column.name.lower() in wanted:
+                columns[position] = ast.ColumnDef(
+                    column.name, column.type_name, True, column.not_null
+                )
+
+    def _parse_foreign_key(self) -> ast.ForeignKeyDef:
+        self._expect_keyword("FOREIGN")
+        self._expect_keyword("KEY")
+        self._expect_punct("(")
+        column = self._parse_identifier("column name")
+        self._expect_punct(")")
+        self._expect_keyword("REFERENCES")
+        parent = self._parse_identifier("table name")
+        self._expect_punct("(")
+        parent_column = self._parse_identifier("column name")
+        self._expect_punct(")")
+        return ast.ForeignKeyDef(column, parent, parent_column)
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._parse_identifier("table name")
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._parse_identifier("column name"))
+            while self._accept_punct(","):
+                columns.append(self._parse_identifier("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows: list[tuple[ast.Expression, ...]] = []
+        while True:
+            self._expect_punct("(")
+            values = [self.parse_expression()]
+            while self._accept_punct(","):
+                values.append(self.parse_expression())
+            self._expect_punct(")")
+            rows.append(tuple(values))
+            if not self._accept_punct(","):
+                break
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    # -- SELECT ----------------------------------------------------------
+
+    def _parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        self._accept_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        source = None
+        if self._accept_keyword("FROM"):
+            source = self._parse_from()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self._accept_punct(","):
+                group_by.append(self.parse_expression())
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self.parse_expression()
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self.parse_expression()
+            if self._accept_keyword("OFFSET"):
+                offset = self.parse_expression()
+            elif self._accept_punct(","):
+                # LIMIT offset, count (MySQL style, BIRD queries use it)
+                offset = limit
+                limit = self.parse_expression()
+        return ast.Select(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._parse_identifier("alias")
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return ast.SelectItem(expression, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self.parse_expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expression, ascending)
+
+    def _parse_from(self) -> ast.FromSource:
+        source = self._parse_from_item()
+        while True:
+            if self._accept_punct(","):
+                right = self._parse_from_item()
+                source = ast.Join("CROSS", source, right, None)
+                continue
+            kind = self._parse_join_kind()
+            if kind is None:
+                return source
+            right = self._parse_from_item()
+            condition = None
+            if kind != "CROSS":
+                self._expect_keyword("ON")
+                condition = self.parse_expression()
+            source = ast.Join(kind, source, right, condition)
+
+    def _parse_join_kind(self) -> str | None:
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return "CROSS"
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return "INNER"
+        if self._accept_keyword("LEFT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return "LEFT"
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        return None
+
+    def _parse_from_item(self) -> ast.FromSource:
+        if self._accept_punct("("):
+            if self._check_keyword("SELECT"):
+                query = self._parse_select()
+                self._expect_punct(")")
+                self._accept_keyword("AS")
+                alias = self._parse_identifier("subquery alias")
+                return ast.SubquerySource(query, alias)
+            source = self._parse_from()
+            self._expect_punct(")")
+            return source
+        name = self._parse_identifier("table name")
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._parse_identifier("alias")
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return ast.TableSource(name, alias)
+
+    def _parse_identifier(self, what: str) -> str:
+        token = self._current
+        if token.type is TokenType.IDENTIFIER:
+            return self._advance().text
+        # Permit non-reserved keywords used as identifiers in a pinch.
+        if token.type is TokenType.KEYWORD and token.text in (
+            "KEY",
+            "VALUES",
+            "ALL",
+        ):
+            return self._advance().text
+        self._fail(f"expected {what}")
+        raise AssertionError  # pragma: no cover
+
+    # -- expressions (precedence climbing) --------------------------------
+
+    def parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        while True:
+            if self._check_operator(*_COMPARISON_OPERATORS):
+                op = self._advance().text
+                if op == "==":
+                    op = "="
+                if op == "!=":
+                    op = "<>"
+                right = self._parse_additive()
+                left = ast.BinaryOp(op, left, right)
+                continue
+            negated = False
+            if self._check_keyword("NOT"):
+                lookahead = self._tokens[self._position + 1]
+                if lookahead.matches_keyword("IN", "LIKE", "BETWEEN"):
+                    self._advance()
+                    negated = True
+                else:
+                    break
+            if self._accept_keyword("IS"):
+                is_negated = self._accept_keyword("NOT")
+                self._expect_keyword("NULL")
+                left = ast.IsNullExpression(left, negated=is_negated)
+                continue
+            if self._accept_keyword("LIKE"):
+                pattern = self._parse_additive()
+                left = ast.LikeExpression(left, pattern, negated=negated)
+                continue
+            if self._accept_keyword("BETWEEN"):
+                lower = self._parse_additive()
+                self._expect_keyword("AND")
+                upper = self._parse_additive()
+                left = ast.BetweenExpression(left, lower, upper, negated)
+                continue
+            if self._accept_keyword("IN"):
+                left = self._parse_in_tail(left, negated)
+                continue
+            if negated:
+                self._fail("expected IN, LIKE, or BETWEEN after NOT")
+            break
+        return left
+
+    def _parse_in_tail(
+        self, operand: ast.Expression, negated: bool
+    ) -> ast.Expression:
+        self._expect_punct("(")
+        if self._check_keyword("SELECT"):
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return ast.InSubquery(operand, subquery, negated)
+        items = [self.parse_expression()]
+        while self._accept_punct(","):
+            items.append(self.parse_expression())
+        self._expect_punct(")")
+        return ast.InList(operand, tuple(items), negated)
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self._check_operator("+", "-", "||"):
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while self._check_operator("*", "/", "%"):
+            op = self._advance().text
+            right = self._parse_unary()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._check_operator("-", "+"):
+            op = self._advance().text
+            return ast.UnaryOp(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._current
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(int(token.text))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(float(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+        if token.matches_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.matches_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.matches_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.matches_keyword("CASE"):
+            return self._parse_case()
+        if token.matches_keyword("CAST"):
+            return self._parse_cast()
+        if token.matches_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return ast.ExistsSubquery(subquery)
+        if self._check_punct("("):
+            self._advance()
+            if self._check_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
+            expression = self.parse_expression()
+            self._expect_punct(")")
+            return expression
+        if self._check_operator("*"):
+            self._advance()
+            return ast.Star()
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        self._fail("expected an expression")
+        raise AssertionError  # pragma: no cover
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self._advance().text
+        if self._check_punct("("):
+            return self._parse_function_call(name)
+        if self._accept_punct("."):
+            if self._check_operator("*"):
+                self._advance()
+                return ast.Star(table=name)
+            column = self._parse_identifier("column name")
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _parse_function_call(self, name: str) -> ast.FunctionCall:
+        self._expect_punct("(")
+        upper = name.upper()
+        if self._check_operator("*"):
+            self._advance()
+            self._expect_punct(")")
+            return ast.FunctionCall(upper, (), star=True)
+        if self._accept_punct(")"):
+            return ast.FunctionCall(upper, ())
+        distinct = self._accept_keyword("DISTINCT")
+        args = [self.parse_expression()]
+        while self._accept_punct(","):
+            args.append(self.parse_expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(upper, tuple(args), distinct=distinct)
+
+    def _parse_case(self) -> ast.CaseExpression:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._check_keyword("WHEN"):
+            operand = self.parse_expression()
+        branches: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self._expect_keyword("THEN")
+            result = self.parse_expression()
+            branches.append((condition, result))
+        if not branches:
+            self._fail("CASE requires at least one WHEN branch")
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self.parse_expression()
+        self._expect_keyword("END")
+        return ast.CaseExpression(operand, tuple(branches), default)
+
+    def _parse_cast(self) -> ast.CastExpression:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self.parse_expression()
+        self._expect_keyword("AS")
+        type_name = self._parse_identifier("type name")
+        if self._accept_punct("("):
+            while not self._accept_punct(")"):
+                self._advance()
+        self._expect_punct(")")
+        return ast.CastExpression(operand, type_name)

@@ -1,0 +1,5 @@
+"""Deterministic text embeddings (substitute for the paper's E5 model)."""
+
+from repro.embed.hashing import HashingEmbedder, serialize_row
+
+__all__ = ["HashingEmbedder", "serialize_row"]

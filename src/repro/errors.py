@@ -1,0 +1,102 @@
+"""Exception hierarchy for the TAG reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.  Subsystems define
+narrower classes here rather than in their own modules so that error
+handling does not require importing engine internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Relational engine errors
+# --------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine failures."""
+
+
+class SQLSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so Text2SQL failure diagnostics can
+    report *where* a generated query broke.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(DatabaseError):
+    """The query parsed but could not be bound to the catalog.
+
+    Raised for unknown tables/columns, ambiguous references, misplaced
+    aggregates, and similar semantic errors.
+    """
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a query plan."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition or a constraint violation on write."""
+
+
+# --------------------------------------------------------------------------
+# Simulated language model errors
+# --------------------------------------------------------------------------
+
+
+class LMError(ReproError):
+    """Base class for simulated-LM failures."""
+
+
+class ContextLengthError(LMError):
+    """The prompt (plus requested generation) exceeds the context window.
+
+    The paper's Text2SQL+LM baseline hits exactly this failure when it
+    serializes too many retrieved rows into the generation prompt; the
+    benchmark counts such queries as incorrect.
+    """
+
+    def __init__(self, prompt_tokens: int, context_window: int) -> None:
+        super().__init__(
+            f"prompt of {prompt_tokens} tokens exceeds the "
+            f"{context_window}-token context window"
+        )
+        self.prompt_tokens = prompt_tokens
+        self.context_window = context_window
+
+
+class PromptRoutingError(LMError):
+    """No registered handler recognised the prompt format."""
+
+
+# --------------------------------------------------------------------------
+# Dataframe / semantic operator errors
+# --------------------------------------------------------------------------
+
+
+class FrameError(ReproError):
+    """Invalid dataframe operation (unknown column, length mismatch, ...)."""
+
+
+class SemanticOperatorError(ReproError):
+    """A semantic operator received an invalid instruction or inputs."""
+
+
+# --------------------------------------------------------------------------
+# Benchmark errors
+# --------------------------------------------------------------------------
+
+
+class BenchmarkError(ReproError):
+    """Benchmark configuration or evaluation failure."""

@@ -1,0 +1,21 @@
+"""World-knowledge fact store.
+
+The paper's "knowledge" queries require information that is *not in the
+database* — which cities are in the Bay Area, how tall Stephen Curry is,
+which seasons the Malaysian Grand Prix ran.  In the paper that knowledge
+lives in the LM's weights; here it lives in an explicit
+:class:`KnowledgeBase` of facts with *confidence* values.
+
+Two views exist over the store:
+
+- the **oracle** view (:class:`KnowledgeBase` itself) returns canonical
+  facts and is used to compute benchmark gold answers;
+- the **fuzzy** view (:class:`FuzzyKnowledge`) is what the simulated LM
+  consults: low-confidence (marginal) facts are deterministically
+  perturbed, reproducing the paper's observation that even hand-written
+  TAG pipelines answer only ~50-60% of knowledge queries exactly.
+"""
+
+from repro.knowledge.kb import Fact, FuzzyKnowledge, KnowledgeBase
+
+__all__ = ["Fact", "FuzzyKnowledge", "KnowledgeBase"]

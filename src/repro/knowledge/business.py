@@ -1,0 +1,118 @@
+"""Business and country facts.
+
+Covers the debit_card_specializing domain (countries, currencies, EU and
+Eurozone membership — e.g. "customers in countries that use the Euro")
+and the paper's introduction example of company -> industry vertical
+("what are the QoQ trends for the 'retail' vertical?").
+"""
+
+from __future__ import annotations
+
+#: (country, uses_euro, confidence).  The BIRD debit-card data is Central
+#: European; Slovakia adopted the Euro in 2009, Czechia did not — the
+#: canonical fact every Eurozone knowledge query hinges on.
+COUNTRY_EURO_FACTS: list[tuple[str, bool, float]] = [
+    ("Czech Republic", False, 0.95),
+    ("Slovakia", True, 0.9),
+    ("Germany", True, 1.0),
+    ("Austria", True, 0.95),
+    ("France", True, 1.0),
+    ("Italy", True, 1.0),
+    ("Spain", True, 1.0),
+    ("Poland", False, 0.9),
+    ("Hungary", False, 0.85),
+    ("Slovenia", True, 0.7),
+    ("Croatia", True, 0.55),
+    ("Denmark", False, 0.8),
+    ("Sweden", False, 0.85),
+    ("Switzerland", False, 0.95),
+    ("Netherlands", True, 0.95),
+    ("Belgium", True, 0.95),
+    ("Portugal", True, 0.9),
+    ("Ireland", True, 0.9),
+    ("Finland", True, 0.85),
+    ("Norway", False, 0.9),
+    ("UK", False, 1.0),
+    ("Romania", False, 0.8),
+    ("Bulgaria", False, 0.75),
+]
+
+#: (country, in_eu, confidence), as of the paper's era.
+COUNTRY_EU_FACTS: list[tuple[str, bool, float]] = [
+    ("Czech Republic", True, 0.95),
+    ("Slovakia", True, 0.95),
+    ("Germany", True, 1.0),
+    ("Austria", True, 0.95),
+    ("France", True, 1.0),
+    ("Italy", True, 1.0),
+    ("Spain", True, 1.0),
+    ("Poland", True, 0.9),
+    ("Hungary", True, 0.9),
+    ("Slovenia", True, 0.8),
+    ("Croatia", True, 0.75),
+    ("Denmark", True, 0.85),
+    ("Sweden", True, 0.85),
+    ("Switzerland", False, 0.95),
+    ("Netherlands", True, 0.95),
+    ("Belgium", True, 0.95),
+    ("Portugal", True, 0.9),
+    ("Ireland", True, 0.9),
+    ("Finland", True, 0.85),
+    ("Norway", False, 0.9),
+    ("UK", False, 0.85),
+    ("Romania", True, 0.8),
+    ("Bulgaria", True, 0.75),
+]
+
+#: (country, currency_code, confidence).
+COUNTRY_CURRENCY_FACTS: list[tuple[str, str, float]] = [
+    ("Czech Republic", "CZK", 0.95),
+    ("Slovakia", "EUR", 0.9),
+    ("Germany", "EUR", 1.0),
+    ("Austria", "EUR", 0.95),
+    ("Poland", "PLN", 0.9),
+    ("Hungary", "HUF", 0.85),
+    ("Switzerland", "CHF", 0.95),
+    ("Denmark", "DKK", 0.8),
+    ("Sweden", "SEK", 0.85),
+    ("Norway", "NOK", 0.85),
+    ("UK", "GBP", 1.0),
+    ("France", "EUR", 1.0),
+    ("Italy", "EUR", 1.0),
+    ("Spain", "EUR", 1.0),
+]
+
+#: (company, vertical, confidence) for the QoQ-by-vertical intro example.
+COMPANY_VERTICAL_FACTS: list[tuple[str, str, float]] = [
+    ("Walmart", "retail", 1.0),
+    ("Target", "retail", 1.0),
+    ("Costco", "retail", 0.95),
+    ("Best Buy", "retail", 0.95),
+    ("Home Depot", "retail", 0.9),
+    ("Kroger", "retail", 0.9),
+    ("Macy's", "retail", 0.9),
+    ("Nordstrom", "retail", 0.85),
+    ("Amazon", "retail", 0.6),  # retail vs tech is genuinely contested
+    ("Apple", "technology", 0.95),
+    ("Microsoft", "technology", 1.0),
+    ("Google", "technology", 1.0),
+    ("Netflix", "technology", 0.7),
+    ("Salesforce", "technology", 0.9),
+    ("Oracle", "technology", 0.9),
+    ("JPMorgan", "finance", 1.0),
+    ("Goldman Sachs", "finance", 1.0),
+    ("Bank of America", "finance", 0.95),
+    ("Visa", "finance", 0.8),
+    ("Pfizer", "healthcare", 0.95),
+    ("UnitedHealth", "healthcare", 0.9),
+    ("Johnson & Johnson", "healthcare", 0.85),
+    ("Exxon Mobil", "energy", 0.95),
+    ("Chevron", "energy", 0.95),
+    ("Shell", "energy", 0.9),
+    ("Ford", "automotive", 0.95),
+    ("General Motors", "automotive", 0.95),
+    ("Tesla", "automotive", 0.75),
+    ("Boeing", "aerospace", 0.9),
+    ("Delta Air Lines", "travel", 0.85),
+    ("Marriott", "travel", 0.85),
+]

@@ -1,0 +1,58 @@
+"""European football facts for the european_football_2 domain.
+
+League -> country and "big five league" memberships power knowledge
+queries like "teams playing in a Big Five league"; national-team facts
+power player-level knowledge queries.
+"""
+
+from __future__ import annotations
+
+#: (league, country, confidence).
+LEAGUE_COUNTRY_FACTS: list[tuple[str, str, float]] = [
+    ("England Premier League", "England", 1.0),
+    ("Spain LIGA BBVA", "Spain", 0.95),
+    ("Germany 1. Bundesliga", "Germany", 0.95),
+    ("Italy Serie A", "Italy", 1.0),
+    ("France Ligue 1", "France", 0.95),
+    ("Netherlands Eredivisie", "Netherlands", 0.9),
+    ("Portugal Liga ZON Sagres", "Portugal", 0.85),
+    ("Scotland Premier League", "Scotland", 0.9),
+    ("Belgium Jupiler League", "Belgium", 0.85),
+    ("Poland Ekstraklasa", "Poland", 0.8),
+    ("Switzerland Super League", "Switzerland", 0.8),
+]
+
+#: The European "Big Five" leagues (revenue-defined; membership is firm
+#: for the top four, with France culturally marginal in casual usage).
+BIG_FIVE_LEAGUE_FACTS: list[tuple[str, bool, float]] = [
+    ("England Premier League", True, 1.0),
+    ("Spain LIGA BBVA", True, 0.95),
+    ("Germany 1. Bundesliga", True, 0.95),
+    ("Italy Serie A", True, 0.95),
+    ("France Ligue 1", True, 0.7),
+    ("Netherlands Eredivisie", False, 0.85),
+    ("Portugal Liga ZON Sagres", False, 0.85),
+    ("Scotland Premier League", False, 0.9),
+    ("Belgium Jupiler League", False, 0.9),
+    ("Poland Ekstraklasa", False, 0.95),
+    ("Switzerland Super League", False, 0.95),
+]
+
+#: (country, is_uk_home_nation, confidence) — knowledge queries about
+#: "leagues in the United Kingdom" need England+Scotland membership.
+UK_HOME_NATION_FACTS: list[tuple[str, bool, float]] = [
+    ("England", True, 1.0),
+    ("Scotland", True, 0.95),
+    ("Wales", True, 0.9),
+    ("Northern Ireland", True, 0.85),
+    ("Ireland", False, 0.75),
+    ("Spain", False, 1.0),
+    ("Germany", False, 1.0),
+    ("Italy", False, 1.0),
+    ("France", False, 1.0),
+    ("Netherlands", False, 1.0),
+    ("Portugal", False, 1.0),
+    ("Belgium", False, 1.0),
+    ("Poland", False, 1.0),
+    ("Switzerland", False, 1.0),
+]

@@ -1,0 +1,177 @@
+"""Formula 1 facts: circuits, their locations/attributes, and race history.
+
+The Figure 2 query ("races held on Sepang International Circuit") and
+several knowledge queries in the formula_1 domain depend on this data.
+The circuit list mirrors the real calendar; the dataset generator builds
+the ``races`` table from :data:`RACE_HISTORY`, so the DB and the LM's
+world knowledge are mutually consistent, exactly like BIRD + a trained
+LM in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Circuit:
+    name: str
+    location: str
+    country: str
+    #: Whether this is a temporary street circuit.
+    street: bool
+    #: Geographic region used by knowledge queries.
+    region: str
+
+
+CIRCUITS: list[Circuit] = [
+    Circuit("Sepang International Circuit", "Kuala Lumpur", "Malaysia", False, "southeast asia"),
+    Circuit("Marina Bay Street Circuit", "Marina Bay", "Singapore", True, "southeast asia"),
+    Circuit("Autodromo Nazionale di Monza", "Monza", "Italy", False, "europe"),
+    Circuit("Silverstone Circuit", "Silverstone", "UK", False, "europe"),
+    Circuit("Circuit de Monaco", "Monte-Carlo", "Monaco", True, "europe"),
+    Circuit("Circuit de Spa-Francorchamps", "Spa", "Belgium", False, "europe"),
+    Circuit("Suzuka Circuit", "Suzuka", "Japan", False, "east asia"),
+    Circuit("Albert Park Grand Prix Circuit", "Melbourne", "Australia", True, "oceania"),
+    Circuit("Circuit de Barcelona-Catalunya", "Montmelo", "Spain", False, "europe"),
+    Circuit("Hockenheimring", "Hockenheim", "Germany", False, "europe"),
+    Circuit("Nurburgring", "Nurburg", "Germany", False, "europe"),
+    Circuit("Shanghai International Circuit", "Shanghai", "China", False, "east asia"),
+    Circuit("Bahrain International Circuit", "Sakhir", "Bahrain", False, "middle east"),
+    Circuit("Yas Marina Circuit", "Abu Dhabi", "UAE", False, "middle east"),
+    Circuit("Circuit of the Americas", "Austin", "USA", False, "north america"),
+    Circuit("Hungaroring", "Budapest", "Hungary", False, "europe"),
+    Circuit("Autodromo Jose Carlos Pace", "Sao Paulo", "Brazil", False, "south america"),
+    Circuit("Circuit Gilles Villeneuve", "Montreal", "Canada", True, "north america"),
+    Circuit("Red Bull Ring", "Spielberg", "Austria", False, "europe"),
+    Circuit("Baku City Circuit", "Baku", "Azerbaijan", True, "asia"),
+]
+
+#: Grand Prix name per circuit.
+GRAND_PRIX_NAME: dict[str, str] = {
+    "Sepang International Circuit": "Malaysian Grand Prix",
+    "Marina Bay Street Circuit": "Singapore Grand Prix",
+    "Autodromo Nazionale di Monza": "Italian Grand Prix",
+    "Silverstone Circuit": "British Grand Prix",
+    "Circuit de Monaco": "Monaco Grand Prix",
+    "Circuit de Spa-Francorchamps": "Belgian Grand Prix",
+    "Suzuka Circuit": "Japanese Grand Prix",
+    "Albert Park Grand Prix Circuit": "Australian Grand Prix",
+    "Circuit de Barcelona-Catalunya": "Spanish Grand Prix",
+    "Hockenheimring": "German Grand Prix",
+    "Nurburgring": "European Grand Prix",
+    "Shanghai International Circuit": "Chinese Grand Prix",
+    "Bahrain International Circuit": "Bahrain Grand Prix",
+    "Yas Marina Circuit": "Abu Dhabi Grand Prix",
+    "Circuit of the Americas": "United States Grand Prix",
+    "Hungaroring": "Hungarian Grand Prix",
+    "Autodromo Jose Carlos Pace": "Brazilian Grand Prix",
+    "Circuit Gilles Villeneuve": "Canadian Grand Prix",
+    "Red Bull Ring": "Austrian Grand Prix",
+    "Baku City Circuit": "Azerbaijan Grand Prix",
+}
+
+#: Years each circuit hosted its Grand Prix (inclusive ranges flattened).
+#: Sepang's 1999-2017 run matches the paper's Figure 2 answer.
+RACE_HISTORY: dict[str, list[int]] = {
+    "Sepang International Circuit": list(range(1999, 2018)),
+    "Marina Bay Street Circuit": list(range(2008, 2018)),
+    "Autodromo Nazionale di Monza": list(range(1999, 2018)),
+    "Silverstone Circuit": list(range(1999, 2018)),
+    "Circuit de Monaco": list(range(1999, 2018)),
+    "Circuit de Spa-Francorchamps": [year for year in range(1999, 2018) if year not in (2003, 2006)],
+    "Suzuka Circuit": [year for year in range(1999, 2018) if year not in (2007, 2008)],
+    "Albert Park Grand Prix Circuit": list(range(1999, 2018)),
+    "Circuit de Barcelona-Catalunya": list(range(1999, 2018)),
+    "Hockenheimring": [2001, 2002, 2003, 2004, 2005, 2006, 2008, 2010, 2012, 2014, 2016],
+    "Nurburgring": [1999, 2000, 2001, 2002, 2003, 2004, 2005, 2006, 2007, 2009, 2011, 2013],
+    "Shanghai International Circuit": list(range(2004, 2018)),
+    "Bahrain International Circuit": [year for year in range(2004, 2018) if year != 2011],
+    "Yas Marina Circuit": list(range(2009, 2018)),
+    "Circuit of the Americas": list(range(2012, 2018)),
+    "Hungaroring": list(range(1999, 2018)),
+    "Autodromo Jose Carlos Pace": list(range(1999, 2018)),
+    "Circuit Gilles Villeneuve": [year for year in range(1999, 2018) if year != 2009],
+    "Red Bull Ring": list(range(2014, 2018)),
+    "Baku City Circuit": [2016, 2017],
+}
+
+#: Approximate race date (month, day) per circuit per era; the generator
+#: perturbs days deterministically per year.
+TYPICAL_RACE_MONTH: dict[str, int] = {
+    "Sepang International Circuit": 3,
+    "Marina Bay Street Circuit": 9,
+    "Autodromo Nazionale di Monza": 9,
+    "Silverstone Circuit": 7,
+    "Circuit de Monaco": 5,
+    "Circuit de Spa-Francorchamps": 8,
+    "Suzuka Circuit": 10,
+    "Albert Park Grand Prix Circuit": 3,
+    "Circuit de Barcelona-Catalunya": 5,
+    "Hockenheimring": 7,
+    "Nurburgring": 6,
+    "Shanghai International Circuit": 4,
+    "Bahrain International Circuit": 4,
+    "Yas Marina Circuit": 11,
+    "Circuit of the Americas": 10,
+    "Hungaroring": 7,
+    "Autodromo Jose Carlos Pace": 11,
+    "Circuit Gilles Villeneuve": 6,
+    "Red Bull Ring": 6,
+    "Baku City Circuit": 6,
+}
+
+#: (circuit attribute fact, confidence) for region/street membership.
+#: Core facts are 1.0; a handful are culturally fuzzy.
+CIRCUIT_FACT_CONFIDENCE: dict[tuple[str, str], float] = {
+    ("Albert Park Grand Prix Circuit", "street"): 0.6,
+    ("Circuit Gilles Villeneuve", "street"): 0.55,
+    ("Baku City Circuit", "region"): 0.6,
+}
+
+#: World champions by season (1999-2017), for knowledge queries.
+WORLD_CHAMPIONS: dict[int, str] = {
+    1999: "Mika Hakkinen",
+    2000: "Michael Schumacher",
+    2001: "Michael Schumacher",
+    2002: "Michael Schumacher",
+    2003: "Michael Schumacher",
+    2004: "Michael Schumacher",
+    2005: "Fernando Alonso",
+    2006: "Fernando Alonso",
+    2007: "Kimi Raikkonen",
+    2008: "Lewis Hamilton",
+    2009: "Jenson Button",
+    2010: "Sebastian Vettel",
+    2011: "Sebastian Vettel",
+    2012: "Sebastian Vettel",
+    2013: "Sebastian Vettel",
+    2014: "Lewis Hamilton",
+    2015: "Lewis Hamilton",
+    2016: "Nico Rosberg",
+    2017: "Lewis Hamilton",
+}
+
+#: Driver nationality facts with confidence (fuzzier for less famous).
+DRIVER_NATIONALITY: list[tuple[str, str, float]] = [
+    ("Lewis Hamilton", "British", 1.0),
+    ("Michael Schumacher", "German", 1.0),
+    ("Sebastian Vettel", "German", 0.95),
+    ("Fernando Alonso", "Spanish", 0.95),
+    ("Kimi Raikkonen", "Finnish", 0.95),
+    ("Mika Hakkinen", "Finnish", 0.9),
+    ("Jenson Button", "British", 0.9),
+    ("Nico Rosberg", "German", 0.85),
+    ("Max Verstappen", "Dutch", 0.9),
+    ("Felipe Massa", "Brazilian", 0.85),
+    ("Rubens Barrichello", "Brazilian", 0.85),
+    ("Mark Webber", "Australian", 0.85),
+    ("Daniel Ricciardo", "Australian", 0.85),
+    ("Valtteri Bottas", "Finnish", 0.8),
+    ("Sergio Perez", "Mexican", 0.85),
+    ("Romain Grosjean", "French", 0.7),
+    ("Nico Hulkenberg", "German", 0.7),
+    ("Carlos Sainz", "Spanish", 0.75),
+    ("Juan Pablo Montoya", "Colombian", 0.8),
+    ("Ralf Schumacher", "German", 0.8),
+]

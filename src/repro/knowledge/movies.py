@@ -1,0 +1,74 @@
+"""Movie facts for the paper's Figure 1 worked example.
+
+The example query — "Summarize the reviews of the highest grossing
+romance movie considered a 'classic'" — needs an LM judgment of which
+films are classics.  ``classic`` membership carries confidence like
+every other cultural fact.  Revenue figures are worldwide gross in
+millions of USD (approximate), used by the example dataset generator.
+"""
+
+from __future__ import annotations
+
+#: (title, year, genre, revenue_musd, classic, confidence)
+MOVIE_FACTS: list[tuple[str, int, str, float, bool, float]] = [
+    ("Titanic", 1997, "Romance", 2257.8, True, 1.0),
+    ("Casablanca", 1942, "Romance", 10.2, True, 1.0),
+    ("Gone with the Wind", 1939, "Romance", 402.4, True, 0.95),
+    ("Roman Holiday", 1953, "Romance", 12.0, True, 0.9),
+    ("The Notebook", 2004, "Romance", 115.6, False, 0.6),
+    ("Pretty Woman", 1990, "Romance", 463.4, False, 0.55),
+    ("La La Land", 2016, "Romance", 446.1, False, 0.7),
+    ("Before Sunrise", 1995, "Romance", 5.5, True, 0.6),
+    ("Notting Hill", 1999, "Romance", 363.9, False, 0.7),
+    ("When Harry Met Sally", 1989, "Romance", 92.8, True, 0.7),
+    ("The Shawshank Redemption", 1994, "Drama", 73.3, True, 0.95),
+    ("The Godfather", 1972, "Crime", 250.0, True, 1.0),
+    ("Citizen Kane", 1941, "Drama", 1.6, True, 0.95),
+    ("Avatar", 2009, "SciFi", 2923.7, False, 0.8),
+    ("Avengers: Endgame", 2019, "Action", 2799.4, False, 0.9),
+    ("Star Wars", 1977, "SciFi", 775.4, True, 0.95),
+    ("Jurassic Park", 1993, "SciFi", 1109.8, True, 0.7),
+    ("The Matrix", 1999, "SciFi", 467.2, True, 0.75),
+    ("Frozen", 2013, "Animation", 1290.0, False, 0.85),
+    ("Toy Story", 1995, "Animation", 394.4, True, 0.7),
+]
+
+#: Short synthetic review snippets per title, used by the generator.
+MOVIE_REVIEWS: dict[str, list[str]] = {
+    "Titanic": [
+        "A sweeping, heartbreaking romance with breathtaking visuals.",
+        "The love story feels timeless and the ending still devastates.",
+        "Overlong in places, but an unforgettable spectacle.",
+    ],
+    "Casablanca": [
+        "The definitive classic; every line is quotable.",
+        "A perfect blend of romance and wartime intrigue.",
+    ],
+    "Gone with the Wind": [
+        "Epic in scale and ambition, though it shows its age.",
+        "A grand, sweeping romance of the old Hollywood era.",
+    ],
+    "The Notebook": [
+        "Sweet but slow; the leads carry a thin story.",
+        "A tearjerker that knows exactly what it is.",
+    ],
+    "Pretty Woman": [
+        "Charming leads elevate a predictable fairy tale.",
+    ],
+    "La La Land": [
+        "A dazzling, bittersweet love letter to dreamers.",
+        "Gorgeous music and a brave, melancholy ending.",
+    ],
+    "Before Sunrise": [
+        "Two people talking, and it is utterly captivating.",
+    ],
+    "Notting Hill": [
+        "Warm, funny, and effortlessly charming.",
+    ],
+    "When Harry Met Sally": [
+        "The sharpest romantic comedy script ever written.",
+    ],
+    "Roman Holiday": [
+        "Effortlessly elegant, a timeless romance.",
+    ],
+}

@@ -1,0 +1,63 @@
+"""Facts about public figures: athlete heights and related attributes.
+
+The benchmark's comparison queries lean on heights ("taller than Stephen
+Curry"), so heights carry the person's measured height in centimetres
+with a confidence reflecting how famous/verifiable the figure is.
+"""
+
+from __future__ import annotations
+
+#: (person, height_cm, confidence)
+PERSON_HEIGHT_FACTS: list[tuple[str, float, float]] = [
+    # Basketball
+    ("Stephen Curry", 188.0, 1.0),
+    ("LeBron James", 206.0, 1.0),
+    ("Kevin Durant", 208.0, 0.95),
+    ("Michael Jordan", 198.0, 1.0),
+    ("Shaquille O'Neal", 216.0, 1.0),
+    ("Muggsy Bogues", 160.0, 0.9),
+    ("Yao Ming", 229.0, 0.95),
+    ("Giannis Antetokounmpo", 211.0, 0.9),
+    ("Kobe Bryant", 198.0, 0.95),
+    ("Chris Paul", 183.0, 0.9),
+    # Football (soccer)
+    ("Lionel Messi", 170.0, 1.0),
+    ("Cristiano Ronaldo", 187.0, 1.0),
+    ("Peter Crouch", 201.0, 0.9),
+    ("Zlatan Ibrahimovic", 195.0, 0.9),
+    ("Kylian Mbappe", 178.0, 0.85),
+    ("Neymar", 175.0, 0.9),
+    ("Diego Maradona", 165.0, 0.95),
+    ("Gianluigi Buffon", 192.0, 0.85),
+    ("N'Golo Kante", 168.0, 0.8),
+    ("Virgil van Dijk", 193.0, 0.85),
+    # Formula 1 drivers
+    ("Lewis Hamilton", 174.0, 0.9),
+    ("Michael Schumacher", 174.0, 0.9),
+    ("Sebastian Vettel", 175.0, 0.85),
+    ("Fernando Alonso", 171.0, 0.85),
+    ("Kimi Raikkonen", 175.0, 0.8),
+    ("Max Verstappen", 181.0, 0.85),
+    ("George Russell", 185.0, 0.75),
+    ("Esteban Ocon", 186.0, 0.7),
+    # Other well-known figures used by comparison queries
+    ("Tom Cruise", 170.0, 0.95),
+    ("Danny DeVito", 147.0, 0.95),
+    ("Usain Bolt", 195.0, 0.95),
+    ("Serena Williams", 175.0, 0.9),
+    ("Roger Federer", 185.0, 0.9),
+]
+
+#: (person, birth_year, confidence) — used by age-flavoured knowledge queries.
+PERSON_BIRTH_YEAR_FACTS: list[tuple[str, int, float]] = [
+    ("Stephen Curry", 1988, 0.95),
+    ("LeBron James", 1984, 0.95),
+    ("Lionel Messi", 1987, 1.0),
+    ("Cristiano Ronaldo", 1985, 1.0),
+    ("Lewis Hamilton", 1985, 0.95),
+    ("Michael Schumacher", 1969, 0.95),
+    ("Sebastian Vettel", 1987, 0.9),
+    ("Fernando Alonso", 1981, 0.9),
+    ("Max Verstappen", 1997, 0.9),
+    ("Kimi Raikkonen", 1979, 0.85),
+]

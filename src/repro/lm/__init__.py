@@ -1,0 +1,35 @@
+"""The simulated language model.
+
+This package substitutes for Llama-3.1-70B-Instruct served by vLLM in
+the paper's evaluation.  It is *not* a neural network: it is a prompt-
+routed engine whose capabilities are implemented explicitly —
+
+- **world knowledge** via :class:`repro.knowledge.FuzzyKnowledge`
+  (seeded, calibrated imperfection on marginal facts),
+- **semantic reasoning over text** via :mod:`repro.text`
+  (sentiment, sarcasm, technicality, summarisation),
+- **SQL generation** via a rule-based semantic parser in the BIRD
+  prompt format (:mod:`repro.lm.handlers.text2sql`),
+- **in-context answering over serialized rows**
+  (:mod:`repro.lm.handlers.answer`), including the long-context
+  arithmetic unreliability the paper attributes to LMs,
+
+plus the operational behaviours the evaluation depends on: a context
+window (overflow raises :class:`repro.errors.ContextLengthError`), token
+accounting, batched inference, and a deterministic latency model that
+reproduces the paper's execution-time relationships.
+"""
+
+from repro.lm.latency import LatencyModel
+from repro.lm.model import LMConfig, LMResponse, SimulatedLM
+from repro.lm.tokenizer import count_tokens
+from repro.lm.usage import Usage
+
+__all__ = [
+    "LMConfig",
+    "LMResponse",
+    "LatencyModel",
+    "SimulatedLM",
+    "Usage",
+    "count_tokens",
+]

@@ -1,0 +1,39 @@
+"""Prompt handlers: each implements one capability of the simulated LM."""
+
+from repro.lm.handlers.judge import (
+    ComparisonHandler,
+    JudgmentHandler,
+    RelevanceHandler,
+    ScoringHandler,
+    SummaryHandler,
+)
+
+__all__ = [
+    "ComparisonHandler",
+    "JudgmentHandler",
+    "RelevanceHandler",
+    "ScoringHandler",
+    "SummaryHandler",
+    "default_handlers",
+]
+
+
+def default_handlers() -> list:
+    """The full handler stack of the simulated LM, in routing order.
+
+    Imported lazily so that handler modules with heavier dependencies
+    (the Text2SQL semantic parser, the in-context answerer) only load
+    when a model is constructed.
+    """
+    from repro.lm.handlers.answer import AnswerHandler
+    from repro.lm.handlers.text2sql import Text2SQLHandler
+
+    return [
+        JudgmentHandler(),
+        ScoringHandler(),
+        RelevanceHandler(),
+        ComparisonHandler(),
+        SummaryHandler(),
+        Text2SQLHandler(),
+        AnswerHandler(),
+    ]

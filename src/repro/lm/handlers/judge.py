@@ -1,0 +1,188 @@
+"""Handlers for operator-style prompts: judge, score, compare, summarise.
+
+These are the capabilities semantic operators (sem_filter / sem_topk /
+sem_agg) and the reranking baseline exercise.  Parsing is strict — the
+prompts are built by :mod:`repro.lm.prompts`, so a malformed prompt is a
+programming error, not user input.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lm import concepts, prompts
+from repro.lm.router import HandlerContext
+from repro.text.summarize import summarize_items
+
+
+class JudgmentHandler:
+    """Answers yes/no statements (sem_filter judgments, SQL LM UDFs)."""
+
+    def matches(self, prompt: str) -> bool:
+        return prompt.startswith(prompts.JUDGMENT_HEADER)
+
+    def handle(self, prompt: str, context: HandlerContext) -> str:
+        marker = "Statement: "
+        position = prompt.index(marker) + len(marker)
+        condition = prompt[position:]
+        verdict = concepts.judge(condition, context.fuzzy, context.seed)
+        return "yes" if verdict else "no"
+
+
+class ScoringHandler:
+    """Scores an item against a criterion in [0, 1] (sem_topk)."""
+
+    def matches(self, prompt: str) -> bool:
+        return prompt.startswith(prompts.SCORING_HEADER)
+
+    def handle(self, prompt: str, context: HandlerContext) -> str:
+        criterion, item = _two_fields(prompt, "Criterion", "Item")
+        value = concepts.score(criterion, item, context.seed)
+        return f"{value:.4f}"
+
+
+class RelevanceHandler:
+    """Scores document relevance to a query (Retrieval + LM Rank)."""
+
+    def matches(self, prompt: str) -> bool:
+        return prompt.startswith(prompts.RELEVANCE_HEADER)
+
+    def handle(self, prompt: str, context: HandlerContext) -> str:
+        query, document = _two_fields(prompt, "Query", "Document")
+        value = concepts.relevance(query, document, context.seed)
+        return f"{value:.4f}"
+
+
+class ComparisonHandler:
+    """Pairwise comparison on a criterion (sem_topk's comparator)."""
+
+    def matches(self, prompt: str) -> bool:
+        return prompt.startswith(prompts.COMPARISON_HEADER)
+
+    def handle(self, prompt: str, context: HandlerContext) -> str:
+        pattern = re.compile(
+            r"Criterion: (?P<criterion>.*?)\nA: (?P<left>.*?)\n"
+            r"B: (?P<right>.*)\Z",
+            re.DOTALL,
+        )
+        match = pattern.search(prompt)
+        if match is None:
+            return "A"
+        left_wins = concepts.compare(
+            match.group("criterion"),
+            match.group("left"),
+            match.group("right"),
+            context.seed,
+        )
+        return "A" if left_wins else "B"
+
+
+class SummaryHandler:
+    """Faithful summarisation of listed items (sem_agg).
+
+    Structured records ("key: value; key: value" items) get a complete
+    enumeration-style summary — field ranges plus a per-record listing —
+    which is how a capable LM summarises small tables exhaustively (the
+    behaviour Figure 2 shows for hand-written TAG on the Sepang query).
+    Prose items get a faithful extractive summary.
+    """
+
+    _RECORD_RE = re.compile(r"^(?:[^:;]{1,40}: [^;]*)(?:; [^:;]{1,40}: [^;]*)*$")
+
+    def matches(self, prompt: str) -> bool:
+        return prompt.startswith(prompts.SUMMARY_HEADER)
+
+    def handle(self, prompt: str, context: HandlerContext) -> str:
+        items = re.findall(
+            r"^Item \d+: (.*?)(?=^Item \d+: |\Z)",
+            prompt,
+            re.MULTILINE | re.DOTALL,
+        )
+        items = [item.strip() for item in items if item.strip()]
+        if not items:
+            return ""
+        structured = [_parse_record(item) for item in items]
+        if all(record is not None for record in structured):
+            return _summarize_records(structured)  # type: ignore[arg-type]
+        return summarize_items(items, max_sentences=6)
+
+
+def _parse_record(item: str) -> dict[str, str] | None:
+    if "\n" in item:
+        return None
+    fields: dict[str, str] = {}
+    for piece in item.split("; "):
+        key, separator, value = piece.partition(": ")
+        if not separator or not key or len(key) > 40:
+            return None
+        fields[key.strip()] = value.strip()
+    return fields or None
+
+
+def _summarize_records(records: list[dict[str, str]]) -> str:
+    count = len(records)
+    keys: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in keys:
+                keys.append(key)
+    lines = [f"There are {count} records."]
+    for key in keys:
+        values = [record[key] for record in records if key in record]
+        numbers = _all_numbers(values)
+        if numbers is not None and len(numbers) > 1:
+            lines.append(
+                f"{key} ranges from {_render_number(min(numbers))} to "
+                f"{_render_number(max(numbers))}."
+            )
+        else:
+            unique: list[str] = []
+            for value in values:
+                if value not in unique:
+                    unique.append(value)
+            shown = ", ".join(unique[:8])
+            suffix = ", ..." if len(unique) > 8 else ""
+            lines.append(f"{key} values: {shown}{suffix}.")
+    if count <= 30:
+        # Constant-valued fields are already covered by the field
+        # summaries above; keep the per-record listing compact.
+        varying = [
+            key
+            for key in keys
+            if len({record.get(key) for record in records}) > 1
+        ] or keys[:1]
+        listing = " | ".join(
+            ", ".join(
+                f"{key}={record[key]}" for key in varying if key in record
+            )
+            for record in records
+        )
+        lines.append(f"Records: {listing}.")
+    return " ".join(lines)
+
+
+def _all_numbers(values: list[str]) -> list[float] | None:
+    numbers: list[float] = []
+    for value in values:
+        try:
+            numbers.append(float(value))
+        except ValueError:
+            return None
+    return numbers
+
+
+def _render_number(value: float) -> str:
+    if value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _two_fields(prompt: str, first: str, second: str) -> tuple[str, str]:
+    pattern = re.compile(
+        rf"{first}: (?P<first>.*?)\n{second}: (?P<second>.*)\Z",
+        re.DOTALL,
+    )
+    match = pattern.search(prompt)
+    if match is None:
+        return "", ""
+    return match.group("first"), match.group("second")

@@ -1,0 +1,64 @@
+"""Deterministic latency model for simulated LM inference.
+
+The paper's Table 1/2 report execution time (ET) per query on 8xA100s.
+Absolute numbers depend on their testbed; the *relationships* between
+methods come from first principles the model captures:
+
+- every request pays a fixed **overhead** (scheduling, tokenisation),
+- prompt processing (**prefill**) is proportional to prompt tokens,
+- generation (**decode**) is proportional to output tokens,
+- **batched** requests amortise overhead and share decode bandwidth up
+  to a parallelism limit — the mechanism the paper credits for the
+  hand-written TAG baseline's low ET ("exploiting efficient batched
+  inference of LMs", §4.3).
+
+Default constants are calibrated so single-call baselines land in the
+same few-seconds range the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency constants (seconds)."""
+
+    #: Fixed cost per request (or per batch, when batched).
+    overhead_s: float = 0.4
+    #: Prompt-processing cost per 1000 prompt tokens.
+    prefill_s_per_1k: float = 1.7
+    #: Generation cost per output token.
+    decode_s_per_token: float = 0.01
+    #: Maximum effective parallelism of batched execution.
+    max_parallel: int = 16
+
+    def call_seconds(self, prompt_tokens: int, output_tokens: int) -> float:
+        """Latency of one unbatched request."""
+        return (
+            self.overhead_s
+            + self.prefill_s_per_1k * prompt_tokens / 1000.0
+            + self.decode_s_per_token * output_tokens
+        )
+
+    def batch_seconds(
+        self, requests: list[tuple[int, int]]
+    ) -> float:
+        """Latency of one batch of (prompt_tokens, output_tokens) requests.
+
+        The batch pays overhead once; prefill and decode work is divided
+        by the effective parallelism ``min(len(batch), max_parallel)``.
+        An empty batch costs nothing.
+        """
+        if not requests:
+            return 0.0
+        parallelism = min(len(requests), self.max_parallel)
+        total_prefill = sum(
+            self.prefill_s_per_1k * prompt / 1000.0
+            for prompt, _ in requests
+        )
+        total_decode = sum(
+            self.decode_s_per_token * output for _, output in requests
+        )
+        return self.overhead_s + (total_prefill + total_decode) / parallelism

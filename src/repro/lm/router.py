@@ -1,0 +1,49 @@
+"""Prompt routing: dispatch a prompt to the handler that recognises it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+from repro.errors import PromptRoutingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.knowledge import FuzzyKnowledge, KnowledgeBase
+
+
+@dataclass
+class HandlerContext:
+    """Everything a handler may consult while "thinking"."""
+
+    fuzzy: "FuzzyKnowledge"
+    kb: "KnowledgeBase"
+    seed: int
+    #: Number of in-context rows the model can process reliably; beyond
+    #: this, exact computation over the context degrades (paper §1:
+    #: "LMs ... perform poorly on long-context prompts").
+    reliable_rows: int
+
+
+class Handler(Protocol):
+    def matches(self, prompt: str) -> bool: ...  # noqa: E704
+
+    def handle(self, prompt: str, context: HandlerContext) -> str: ...  # noqa: E704
+
+
+class Router:
+    """Ordered handler registry; first match wins."""
+
+    def __init__(self, handlers: list[Handler] | None = None) -> None:
+        self._handlers: list[Handler] = list(handlers or [])
+
+    def register(self, handler: Handler) -> None:
+        self._handlers.append(handler)
+
+    def route(self, prompt: str, context: HandlerContext) -> str:
+        for handler in self._handlers:
+            if handler.matches(prompt):
+                return handler.handle(prompt, context)
+        raise PromptRoutingError(
+            "no handler recognised the prompt "
+            f"(first 80 chars: {prompt[:80]!r})"
+        )

@@ -1,0 +1,22 @@
+"""Token counting for the simulated LM.
+
+Uses the standard byte-pair-encoding approximation: a token is roughly
+four characters of English text, floored by the word count (every word
+is at least one token).  Good enough for context-window accounting and
+the latency model — exactly the two things the evaluation needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+_CHARS_PER_TOKEN = 4.0
+
+
+def count_tokens(text: str) -> int:
+    """Approximate token count of ``text``."""
+    if not text:
+        return 0
+    by_chars = math.ceil(len(text) / _CHARS_PER_TOKEN)
+    by_words = len(text.split())
+    return max(by_chars, by_words, 1)

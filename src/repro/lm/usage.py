@@ -1,0 +1,38 @@
+"""Call/token/latency accounting for the simulated LM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Usage:
+    """Cumulative usage counters; snapshot-and-subtract friendly."""
+
+    calls: int = 0
+    batches: int = 0
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    simulated_seconds: float = 0.0
+    context_errors: int = 0
+
+    def snapshot(self) -> "Usage":
+        return Usage(
+            self.calls,
+            self.batches,
+            self.prompt_tokens,
+            self.output_tokens,
+            self.simulated_seconds,
+            self.context_errors,
+        )
+
+    def since(self, earlier: "Usage") -> "Usage":
+        """Usage accumulated since an earlier snapshot."""
+        return Usage(
+            self.calls - earlier.calls,
+            self.batches - earlier.batches,
+            self.prompt_tokens - earlier.prompt_tokens,
+            self.output_tokens - earlier.output_tokens,
+            self.simulated_seconds - earlier.simulated_seconds,
+            self.context_errors - earlier.context_errors,
+        )

@@ -1,0 +1,73 @@
+"""Method interface and shared measurement plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.queries import QuerySpec
+from repro.data.base import Dataset
+from repro.lm import SimulatedLM
+
+#: Fixed non-LM costs (seconds), charged on top of simulated LM time.
+SQL_EXECUTION_COST_S = 0.05
+VECTOR_SEARCH_COST_S = 0.05
+
+
+@dataclass
+class MethodResult:
+    """One method's outcome on one query."""
+
+    answer: Any
+    et_seconds: float
+    error: str | None = None
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class Method:
+    """Base class: subclasses implement :meth:`_answer`.
+
+    ET is measured as the simulated LM seconds consumed while answering
+    plus any fixed costs the subclass charges through ``extra_cost``.
+    """
+
+    name: str = "method"
+
+    def __init__(self, lm: SimulatedLM) -> None:
+        self.lm = lm
+
+    def prepare(self, dataset: Dataset) -> None:
+        """Per-domain setup excluded from ET (e.g. index builds)."""
+
+    def answer(self, spec: QuerySpec, dataset: Dataset) -> MethodResult:
+        before = self.lm.usage.snapshot()
+        self._extra_cost = 0.0
+        try:
+            value = self._answer(spec, dataset)
+            error = None
+        except Exception as exc:  # noqa: BLE001 - methods must not crash the run
+            value = None
+            error = f"{type(exc).__name__}: {exc}"
+        consumed = self.lm.usage.since(before)
+        return MethodResult(
+            answer=value,
+            et_seconds=consumed.simulated_seconds + self._extra_cost,
+            error=error,
+            diagnostics={
+                "lm_calls": consumed.calls,
+                "lm_batches": consumed.batches,
+                "prompt_tokens": consumed.prompt_tokens,
+                "output_tokens": consumed.output_tokens,
+                "context_errors": consumed.context_errors,
+            },
+        )
+
+    def extra_cost(self, seconds: float) -> None:
+        self._extra_cost += seconds
+
+    def _answer(self, spec: QuerySpec, dataset: Dataset) -> Any:
+        raise NotImplementedError

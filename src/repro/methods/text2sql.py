@@ -1,0 +1,55 @@
+"""The vanilla Text2SQL baseline.
+
+The LM generates SQL whose execution *is* the answer — no generation
+step.  Invalid SQL (or SQL over hallucinated columns) counts as an
+incorrect answer, matching the paper's accounting ("including instances
+where the model fails to generate valid SQL code").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.queries import QuerySpec
+from repro.core import (
+    LMQuerySynthesizer,
+    NoGenerator,
+    SQLExecutor,
+    TAGPipeline,
+)
+from repro.data.base import Dataset
+from repro.methods.base import Method, SQL_EXECUTION_COST_S
+
+
+class Text2SQLMethod(Method):
+    """Vanilla Text2SQL.
+
+    ``external_knowledge_provider`` optionally maps a question to a
+    BIRD-style evidence string injected into the synthesis prompt's
+    ``-- External Knowledge:`` line (None reproduces the paper's runs;
+    the oracle provider in :mod:`repro.bench.external_knowledge` powers
+    the evidence ablation).
+    """
+
+    name = "Text2SQL"
+
+    def __init__(self, lm, external_knowledge_provider=None) -> None:
+        super().__init__(lm)
+        self.external_knowledge_provider = external_knowledge_provider
+
+    def _answer(self, spec: QuerySpec, dataset: Dataset) -> Any:
+        knowledge = None
+        if self.external_knowledge_provider is not None:
+            knowledge = self.external_knowledge_provider(spec.question)
+        pipeline = TAGPipeline(
+            LMQuerySynthesizer(
+                self.lm, dataset, external_knowledge=knowledge
+            ),
+            SQLExecutor(dataset.db),
+            NoGenerator(),
+        )
+        result = pipeline.run(spec.question)
+        self.extra_cost(SQL_EXECUTION_COST_S)
+        if result.error is not None:
+            raise result.error
+        return result.answer

@@ -1,0 +1,358 @@
+"""The semantic operators: sem_filter, sem_topk, sem_agg, sem_map, sem_join.
+
+Operator semantics follow LOTUS:
+
+- ``sem_filter`` keeps rows the LM judges to satisfy the instruction
+  (one batched yes/no judgment per row);
+- ``sem_topk`` returns the k best rows *in order*, using quickselect
+  with an LM pairwise comparator — pivot comparisons are batched, the
+  optimisation LOTUS's engine applies;
+- ``sem_agg`` folds rows into one text answer hierarchically, so
+  arbitrarily many rows fit the model's context window;
+- ``sem_map`` computes a per-row judgment or score column;
+- ``sem_join`` keeps (left, right) pairs the LM judges related.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SemanticOperatorError
+from repro.frame import DataFrame
+from repro.lm import SimulatedLM
+from repro.semantic.engine import SemanticEngine
+
+_PLACEHOLDER_RE = re.compile(r"\{([^{}]+)\}")
+
+#: Rows folded per sem_agg leaf call (keeps each call inside context).
+_AGG_CHUNK_ROWS = 24
+
+
+def placeholders(instruction: str) -> list[str]:
+    """Column placeholders referenced by an instruction, in order."""
+    return _PLACEHOLDER_RE.findall(instruction)
+
+
+def fill(instruction: str, record: dict[str, object]) -> str:
+    """Substitute ``{Column}`` placeholders with the row's values."""
+
+    def replace(match: re.Match[str]) -> str:
+        name = match.group(1)
+        if name not in record:
+            raise SemanticOperatorError(
+                f"instruction references unknown column {name!r}"
+            )
+        return str(record[name])
+
+    return _PLACEHOLDER_RE.sub(replace, instruction)
+
+
+def _criterion_of(instruction: str) -> str:
+    """The instruction with placeholders blanked, used as a criterion."""
+    return _PLACEHOLDER_RE.sub("", instruction).strip()
+
+
+class SemanticOperators:
+    """Semantic operators bound to one LM (via a batching engine)."""
+
+    def __init__(
+        self,
+        lm: SimulatedLM,
+        batch_size: int = 32,
+    ) -> None:
+        self.engine = SemanticEngine(lm, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # sem_filter
+    # ------------------------------------------------------------------
+
+    def sem_filter(self, frame: DataFrame, instruction: str) -> DataFrame:
+        """Rows for which the LM judges the filled instruction true."""
+        self._check_instruction(frame, instruction, needs_placeholder=True)
+        if frame.empty:
+            return frame
+        conditions = [
+            fill(instruction, record) for _, record in frame.iterrows()
+        ]
+        verdicts = self.engine.judge(conditions)
+        return frame.filter_mask(verdicts)
+
+    # ------------------------------------------------------------------
+    # sem_topk
+    # ------------------------------------------------------------------
+
+    def sem_topk(
+        self,
+        frame: DataFrame,
+        instruction: str,
+        k: int,
+        method: str = "quickselect",
+    ) -> DataFrame:
+        """The ``k`` rows best matching the instruction, best first.
+
+        Two strategies, mirroring LOTUS's top-k algorithms:
+
+        - ``"quickselect"`` (default): pairwise LM comparisons,
+          batching every candidate-vs-pivot round; O(n log n)
+          comparisons worst case, but each comparison is a sharper
+          judgment than an absolute score;
+        - ``"score"``: one graded scoring call per row (one batch
+          total) and a sort — cheaper, but absolute scores are noisier
+          than pairwise preferences on near-ties.
+
+        The strategy ablation benchmark compares their cost/accuracy.
+        """
+        if k < 1:
+            raise SemanticOperatorError("k must be >= 1")
+        if method not in ("quickselect", "score"):
+            raise SemanticOperatorError(
+                f"sem_topk method must be 'quickselect' or 'score', "
+                f"got {method!r}"
+            )
+        self._check_instruction(frame, instruction, needs_placeholder=True)
+        if len(frame) <= 1:
+            return frame
+        criterion = _criterion_of(instruction)
+        # Items are the raw placeholder values, not the filled sentence:
+        # the comparator judges the data, with the instruction as the
+        # criterion (mirrors LOTUS's sem_topk(langex) semantics).
+        names = placeholders(instruction)
+        items = [
+            ", ".join(str(record[name]) for name in names)
+            for _, record in frame.iterrows()
+        ]
+        if method == "score":
+            scores = self.engine.score(criterion, items)
+            order = sorted(
+                range(len(items)),
+                key=lambda index: scores[index],
+                reverse=True,
+            )
+        else:
+            order = self._quickselect_order(
+                criterion,
+                items,
+                list(range(len(items))),
+                min(k, len(items)),
+            )
+        return frame.take(order[:k])
+
+    def _quickselect_order(
+        self,
+        criterion: str,
+        items: list[str],
+        indices: list[int],
+        k: int,
+    ) -> list[int]:
+        if len(indices) <= 1 or k <= 0:
+            return indices
+        pivot = indices[len(indices) // 2]
+        others = [index for index in indices if index != pivot]
+        wins = self.engine.compare(
+            criterion,
+            [(items[index], items[pivot]) for index in others],
+        )
+        better = [index for index, won in zip(others, wins) if won]
+        worse = [index for index, won in zip(others, wins) if not won]
+        if len(better) >= k:
+            return self._quickselect_order(criterion, items, better, k)
+        ordered_better = self._quickselect_order(
+            criterion, items, better, len(better)
+        )
+        remaining = k - len(better) - 1
+        ordered_worse = self._quickselect_order(
+            criterion, items, worse, max(remaining, 0)
+        )
+        return ordered_better + [pivot] + ordered_worse
+
+    # ------------------------------------------------------------------
+    # sem_agg
+    # ------------------------------------------------------------------
+
+    def sem_agg(
+        self,
+        frame: DataFrame,
+        instruction: str,
+        columns: list[str] | None = None,
+    ) -> str:
+        """Fold all rows into one natural-language answer.
+
+        Rows are serialized (optionally restricted to ``columns``),
+        summarised in chunks, and the chunk summaries are folded again
+        until a single text remains — the iterative aggregation pattern
+        the paper highlights for reasoning across many rows.
+        """
+        use_columns = columns or frame.columns
+        missing = [name for name in use_columns if name not in frame]
+        if missing:
+            raise SemanticOperatorError(f"unknown column(s) {missing}")
+        if frame.empty:
+            return ""
+        items = [
+            "; ".join(
+                f"{name}: {record[name]}" for name in use_columns
+            )
+            for _, record in frame.iterrows()
+        ]
+        while len(items) > _AGG_CHUNK_ROWS:
+            chunks = [
+                items[start : start + _AGG_CHUNK_ROWS]
+                for start in range(0, len(items), _AGG_CHUNK_ROWS)
+            ]
+            items = self.engine.summarize_batch(instruction, chunks)
+        return self.engine.summarize(instruction, items)
+
+    def sem_agg_by(
+        self,
+        frame: DataFrame,
+        instruction: str,
+        by: str,
+        columns: list[str] | None = None,
+        output_column: str = "summary",
+    ) -> DataFrame:
+        """Per-group sem_agg: one folded answer per value of ``by``.
+
+        Returns a frame with the grouping column and ``output_column``,
+        in first-occurrence group order — the grouped-aggregation shape
+        of LOTUS's sem_agg.
+        """
+        if by not in frame:
+            raise SemanticOperatorError(f"unknown column {by!r}")
+        groups = frame.groupby(by)
+        keys: list[object] = []
+        summaries: list[str] = []
+        for sub_frame in groups.apply(lambda group: group):
+            keys.append(sub_frame[by][0])
+            summaries.append(
+                self.sem_agg(sub_frame, instruction, columns=columns)
+            )
+        return DataFrame({by: keys, output_column: summaries})
+
+    # ------------------------------------------------------------------
+    # sem_search
+    # ------------------------------------------------------------------
+
+    def sem_search(
+        self,
+        frame: DataFrame,
+        query: str,
+        text_column: str,
+        k: int = 5,
+    ) -> DataFrame:
+        """The ``k`` rows whose ``text_column`` the LM judges most
+        relevant to a natural-language query, best first (LOTUS's
+        sem_search / natural-language specifier retrieval)."""
+        if k < 1:
+            raise SemanticOperatorError("k must be >= 1")
+        if text_column not in frame:
+            raise SemanticOperatorError(
+                f"unknown column {text_column!r}"
+            )
+        if frame.empty:
+            return frame
+        documents = [
+            str(value) for value in frame[text_column].tolist()
+        ]
+        scores = self.engine.relevance(query, documents)
+        order = sorted(
+            range(len(scores)),
+            key=lambda index: scores[index],
+            reverse=True,
+        )
+        return frame.take(order[:k])
+
+    # ------------------------------------------------------------------
+    # sem_map
+    # ------------------------------------------------------------------
+
+    def sem_map(
+        self,
+        frame: DataFrame,
+        instruction: str,
+        output_column: str,
+        mode: str = "judge",
+    ) -> DataFrame:
+        """Add a per-row LM judgment (``judge``) or score (``score``)."""
+        self._check_instruction(frame, instruction, needs_placeholder=True)
+        if mode not in ("judge", "score"):
+            raise SemanticOperatorError(
+                f"sem_map mode must be 'judge' or 'score', got {mode!r}"
+            )
+        filled = [
+            fill(instruction, record) for _, record in frame.iterrows()
+        ]
+        if mode == "judge":
+            values: list[object] = list(self.engine.judge(filled))
+        else:
+            criterion = _criterion_of(instruction)
+            values = list(self.engine.score(criterion, filled))
+        result = frame.take(range(len(frame)))
+        result[output_column] = values
+        return result
+
+    # ------------------------------------------------------------------
+    # sem_join
+    # ------------------------------------------------------------------
+
+    def sem_join(
+        self,
+        left: DataFrame,
+        right: DataFrame,
+        instruction: str,
+        max_pairs: int = 2000,
+    ) -> DataFrame:
+        """Keep (left x right) pairs the LM judges to satisfy the
+        instruction; placeholders may reference columns of either side
+        (column names must not collide)."""
+        collisions = set(left.columns) & set(right.columns)
+        if collisions:
+            raise SemanticOperatorError(
+                f"sem_join requires disjoint columns; shared: "
+                f"{sorted(collisions)}"
+            )
+        total_pairs = len(left) * len(right)
+        if total_pairs > max_pairs:
+            raise SemanticOperatorError(
+                f"sem_join over {total_pairs} pairs exceeds max_pairs="
+                f"{max_pairs}; pre-filter the inputs"
+            )
+        conditions: list[str] = []
+        pairs: list[tuple[dict, dict]] = []
+        for _, left_record in left.iterrows():
+            for _, right_record in right.iterrows():
+                combined = dict(left_record)
+                combined.update(right_record)
+                conditions.append(fill(instruction, combined))
+                pairs.append((left_record, right_record))
+        if not conditions:
+            return DataFrame(
+                {name: [] for name in left.columns + right.columns}
+            )
+        verdicts = self.engine.judge(conditions)
+        kept = [
+            {**left_record, **right_record}
+            for (left_record, right_record), verdict in zip(pairs, verdicts)
+            if verdict
+        ]
+        if not kept:
+            return DataFrame(
+                {name: [] for name in left.columns + right.columns}
+            )
+        return DataFrame.from_records(kept)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_instruction(
+        frame: DataFrame, instruction: str, needs_placeholder: bool
+    ) -> None:
+        names = placeholders(instruction)
+        if needs_placeholder and not names:
+            raise SemanticOperatorError(
+                "instruction must reference at least one {Column}"
+            )
+        missing = [name for name in names if name not in frame]
+        if missing:
+            raise SemanticOperatorError(
+                f"instruction references unknown column(s) {missing}"
+            )

@@ -1,0 +1,27 @@
+"""Deterministic text-analysis primitives.
+
+These algorithms give the simulated LM its "semantic reasoning over
+text" capability (paper §1): sentiment scoring, sarcasm scoring,
+technicality scoring, extractive summarisation, and lexical similarity.
+All are classical lexicon/statistics methods — no model weights — so
+every judgment is reproducible.
+"""
+
+from repro.text.sentiment import sentiment_score
+from repro.text.sarcasm import sarcasm_score
+from repro.text.similarity import cosine_similarity, jaccard_similarity, tf_idf_vectors
+from repro.text.summarize import summarize
+from repro.text.technicality import technicality_score
+from repro.text.tokenize import sentences, tokens
+
+__all__ = [
+    "cosine_similarity",
+    "jaccard_similarity",
+    "sarcasm_score",
+    "sentences",
+    "sentiment_score",
+    "summarize",
+    "technicality_score",
+    "tf_idf_vectors",
+    "tokens",
+]

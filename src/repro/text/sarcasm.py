@@ -1,0 +1,75 @@
+"""Heuristic sarcasm scoring.
+
+Sarcasm detection in the benchmark ("top 3 most sarcastic comments", a
+*reasoning* ranking query) is served by a feature-based scorer: sarcasm
+markers, praise-of-failure patterns (positive words colliding with
+negative context), rhetorical exaggeration, and scare quotes.  The score
+is in [0, 1].
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.text.sentiment import NEGATIVE_WORDS, POSITIVE_WORDS
+from repro.text.tokenize import score_tiebreak, tokens
+
+#: Phrases that strongly signal a sarcastic register.
+SARCASM_MARKERS = (
+    "oh great",
+    "oh sure",
+    "oh wow",
+    "yeah right",
+    "thanks a lot",
+    "good luck with that",
+    "as if",
+    "what could possibly go wrong",
+    "i'm sure",
+    "im sure",
+    "of course it",
+    "just what i needed",
+    "because that always works",
+    "clearly the best",
+    "shocker",
+    "big surprise",
+    "how original",
+    "genius idea",
+    "brilliant plan",
+    "slow clap",
+)
+
+_EXAGGERATION_WORDS = frozenset(
+    "totally obviously clearly absolutely definitely surely literally "
+    "always never everyone nobody".split()
+)
+
+_SCARE_QUOTE_RE = re.compile(r"[\"']([A-Za-z][A-Za-z ]{0,24})[\"']")
+
+
+def sarcasm_score(text: str) -> float:
+    """Sarcasm likelihood of ``text`` in [0, 1]."""
+    lowered = text.lower()
+    words = tokens(text)
+    if not words:
+        return 0.0
+    score = 0.0
+    for marker in SARCASM_MARKERS:
+        if marker in lowered:
+            score += 0.45
+    # Positive words in a negative context read as mock praise.
+    positives = sum(1 for word in words if word in POSITIVE_WORDS)
+    negatives = sum(1 for word in words if word in NEGATIVE_WORDS)
+    if positives and negatives:
+        score += 0.25
+    exaggerations = sum(
+        1 for word in words if word in _EXAGGERATION_WORDS
+    )
+    score += min(exaggerations * 0.12, 0.3)
+    if _SCARE_QUOTE_RE.search(text):
+        score += 0.1
+    if "!" in text and positives and not negatives:
+        # Over-enthusiastic punctuation around praise is weak evidence.
+        score += 0.05
+    if "..." in text:
+        score += 0.05
+    return min(score, 1.0) + score_tiebreak(text)

@@ -1,0 +1,56 @@
+"""Lexical similarity: Jaccard over token sets and TF-IDF cosine."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.text.tokenize import content_tokens
+
+
+def jaccard_similarity(left: str, right: str) -> float:
+    """Jaccard overlap of content-token sets, in [0, 1]."""
+    left_set = set(content_tokens(left))
+    right_set = set(content_tokens(right))
+    if not left_set and not right_set:
+        return 0.0
+    union = left_set | right_set
+    return len(left_set & right_set) / len(union)
+
+
+def tf_idf_vectors(documents: Sequence[str]) -> list[dict[str, float]]:
+    """TF-IDF weight vectors (sparse dicts) for a document collection."""
+    tokenised = [content_tokens(document) for document in documents]
+    document_count = len(tokenised)
+    document_frequency: Counter[str] = Counter()
+    for words in tokenised:
+        document_frequency.update(set(words))
+    vectors: list[dict[str, float]] = []
+    for words in tokenised:
+        counts = Counter(words)
+        total = sum(counts.values()) or 1
+        vector = {
+            word: (count / total)
+            * math.log((1 + document_count) / (1 + document_frequency[word]))
+            for word, count in counts.items()
+        }
+        vectors.append(vector)
+    return vectors
+
+
+def cosine_similarity(
+    left: dict[str, float], right: dict[str, float]
+) -> float:
+    """Cosine between two sparse weight vectors."""
+    if not left or not right:
+        return 0.0
+    smaller, larger = (left, right) if len(left) <= len(right) else (right, left)
+    dot = sum(
+        weight * larger.get(word, 0.0) for word, weight in smaller.items()
+    )
+    left_norm = math.sqrt(sum(weight * weight for weight in left.values()))
+    right_norm = math.sqrt(sum(weight * weight for weight in right.values()))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return dot / (left_norm * right_norm)

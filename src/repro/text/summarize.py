@@ -1,0 +1,48 @@
+"""Extractive summarisation.
+
+The TAG answer-generation step for aggregation queries ("Summarize the
+comments made on ...") calls :func:`summarize`: a frequency-based
+extractive summariser (a classical Luhn-style method).  Sentences are
+scored by the centrality of their content tokens and the top sentences
+are emitted in original order, which keeps summaries faithful — every
+emitted sentence appears verbatim in the source.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.text.tokenize import content_tokens, sentences
+
+
+def summarize(text: str, max_sentences: int = 4) -> str:
+    """Extractive summary of ``text`` with at most ``max_sentences``."""
+    all_sentences = sentences(text)
+    if len(all_sentences) <= max_sentences:
+        return " ".join(all_sentences)
+    frequencies: Counter[str] = Counter()
+    tokenised = [content_tokens(sentence) for sentence in all_sentences]
+    for words in tokenised:
+        frequencies.update(words)
+    scores: list[tuple[float, int]] = []
+    for position, words in enumerate(tokenised):
+        if not words:
+            scores.append((0.0, position))
+            continue
+        score = sum(frequencies[word] for word in words) / len(words)
+        # Slightly favour earlier sentences as topic statements.
+        score *= 1.0 + 0.1 / (1 + position)
+        scores.append((score, position))
+    top = sorted(scores, reverse=True)[:max_sentences]
+    chosen = sorted(position for _, position in top)
+    return " ".join(all_sentences[position] for position in chosen)
+
+
+def summarize_items(items: list[str], max_sentences: int = 6) -> str:
+    """Summarise a list of short texts (e.g. comments) jointly."""
+    joined = " ".join(
+        item if item.rstrip().endswith((".", "!", "?")) else item + "."
+        for item in items
+        if item and item.strip()
+    )
+    return summarize(joined, max_sentences=max_sentences)

@@ -1,0 +1,59 @@
+"""Technicality scoring for short texts.
+
+Used for the benchmark's ranking queries that ask to order post titles
+from "most technical to least technical" — an LM-reasoning task in the
+paper, implemented here as jargon-lexicon density plus surface features
+(acronyms, symbols, long rare words).  Returns a score in [0, 1].
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.text.tokenize import score_tiebreak, STOPWORDS, tokens
+
+TECHNICAL_TERMS = frozenset(
+    """
+    adaboost algorithm anova api architecture asymptotic autoencoder
+    backpropagation bayesian benchmark bias binomial boosting bootstrap
+    cache classifier clustering coefficient compiler complexity
+    convolution convolutional correlation covariance cross-validation
+    dataframe dataset decision-tree derivative descent deterministic
+    distribution eigenvalue embedding ensemble entropy epoch estimator
+    feature gaussian gpu gradient heteroscedasticity hyperparameter
+    hypothesis index inference integral kernel kurtosis lasso latency
+    likelihood linear logistic loss markov matrix maximum-likelihood
+    metric minimization model multicollinearity neural nonlinear
+    normalization optimization overfitting parameter perceptron
+    polynomial posterior precision prior probability quantile random
+    recall regression regularization residual ridge sampling scalar
+    schema sgd sigmoid softmax sparse spline stochastic svm tensor
+    theorem throughput training transformer tuning validation variance
+    vector
+    """.split()
+)
+
+_ACRONYM_RE = re.compile(r"\b[A-Z]{2,6}\b")
+_SYMBOL_RE = re.compile(r"[=+^\\{}()\[\]<>|]|\d+%")
+
+
+def technicality_score(text: str) -> float:
+    """How technical ``text`` reads, in [0, 1]."""
+    words = tokens(text)
+    if not words:
+        return 0.0
+    content = [word for word in words if word not in STOPWORDS]
+    if not content:
+        return 0.0
+    jargon_hits = sum(1 for word in content if word in TECHNICAL_TERMS)
+    jargon_density = jargon_hits / len(content)
+    acronyms = len(_ACRONYM_RE.findall(text))
+    symbols = len(_SYMBOL_RE.findall(text))
+    long_words = sum(1 for word in content if len(word) >= 10)
+    score = (
+        0.65 * min(jargon_density * 2.0, 1.0)
+        + 0.15 * min(acronyms / 2.0, 1.0)
+        + 0.10 * min(symbols / 2.0, 1.0)
+        + 0.10 * min(long_words / max(len(content), 1) * 3.0, 1.0)
+    )
+    return min(score, 1.0) + score_tiebreak(text)

@@ -1,0 +1,6 @@
+"""Vector similarity indexes (substitute for FAISS)."""
+
+from repro.vector.flat import FlatIndex
+from repro.vector.ivf import IVFIndex
+
+__all__ = ["FlatIndex", "IVFIndex"]

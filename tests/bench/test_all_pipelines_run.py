@@ -1,0 +1,65 @@
+"""Regression net: every hand-written pipeline runs under the noisy LM.
+
+Individual behaviour is tested elsewhere; this sweep guarantees no
+pipeline crashes, returns an empty/None answer where one is required,
+or produces the wrong answer *shape* for its query type.
+"""
+
+from repro.bench.queries import PipelineContext
+from repro.lm import LMConfig, SimulatedLM
+from repro.semantic import SemanticOperators
+
+
+class TestAllPipelines:
+    def test_every_pipeline_runs_and_returns_sane_shapes(
+        self, suite, datasets
+    ):
+        lm = SimulatedLM(LMConfig(seed=0))
+        problems = []
+        for spec in suite:
+            context = PipelineContext(
+                dataset=datasets[spec.domain],
+                ops=SemanticOperators(lm, batch_size=32),
+                lm=lm,
+            )
+            try:
+                answer = spec.pipeline(context)
+            except Exception as error:  # noqa: BLE001
+                problems.append((spec.qid, repr(error)))
+                continue
+            if spec.query_type == "aggregation":
+                if not isinstance(answer, str) or not answer.strip():
+                    problems.append((spec.qid, f"bad text {answer!r}"))
+            elif spec.query_type == "comparison":
+                if (
+                    not isinstance(answer, list)
+                    or len(answer) != 1
+                    or not isinstance(answer[0], int)
+                ):
+                    problems.append((spec.qid, f"bad count {answer!r}"))
+            else:
+                if not isinstance(answer, list) or not answer:
+                    problems.append((spec.qid, f"bad list {answer!r}"))
+        assert not problems, problems
+
+    def test_pipelines_isolated_from_each_other(self, suite, datasets):
+        # Running a pipeline twice with fresh LMs gives identical
+        # answers: no pipeline mutates the shared dataset frames.
+        spec = next(s for s in suite if s.qid == "ranking-k01")
+
+        def run():
+            lm = SimulatedLM(LMConfig(seed=0))
+            return spec.pipeline(
+                PipelineContext(
+                    dataset=datasets[spec.domain],
+                    ops=SemanticOperators(lm),
+                    lm=lm,
+                )
+            )
+
+        first = run()
+        before = datasets[spec.domain].frame("schools").to_records()
+        second = run()
+        after = datasets[spec.domain].frame("schools").to_records()
+        assert first == second
+        assert before == after

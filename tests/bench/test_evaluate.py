@@ -1,0 +1,70 @@
+"""Unit tests for exact-match evaluation."""
+
+from repro.bench.evaluate import exact_match, normalize_answer
+
+
+class TestNormalize:
+    def test_none(self):
+        assert normalize_answer(None) is None
+
+    def test_python_list_passthrough(self):
+        assert normalize_answer([1, "x"]) == [1, "x"]
+
+    def test_scalar_wrapped(self):
+        assert normalize_answer(5) == [5]
+
+    def test_lm_text_parsed(self):
+        assert normalize_answer('[1, "two", 3.0]') == [1, "two", 3]
+
+    def test_unparseable_text(self):
+        assert normalize_answer("the answer is 5") is None
+        assert normalize_answer("[unquoted") is None
+
+    def test_non_list_literal_rejected(self):
+        assert normalize_answer("'just a string'") is None
+
+    def test_numeric_strings_canonicalised(self):
+        assert normalize_answer(["560", "2.5"]) == [560, 2.5]
+
+    def test_integral_floats_canonicalised(self):
+        assert normalize_answer([2.0]) == [2]
+
+    def test_bools_become_ints(self):
+        assert normalize_answer([True]) == [1]
+
+    def test_strings_stripped(self):
+        assert normalize_answer(["  K-8  "]) == ["K-8"]
+
+
+class TestExactMatch:
+    def test_matching_lists(self):
+        assert exact_match(["K-8"], ["K-8"])
+        assert exact_match('["K-8"]', ["K-8"])
+        assert exact_match([5], [5.0])
+        assert exact_match("[5]", ["5"])
+
+    def test_length_mismatch(self):
+        assert not exact_match([1, 2], [1])
+
+    def test_value_mismatch(self):
+        assert not exact_match(["K-8"], ["9-12"])
+
+    def test_unordered_by_default(self):
+        assert exact_match(["b", "a"], ["a", "b"])
+
+    def test_ordered_for_ranking(self):
+        assert not exact_match(["b", "a"], ["a", "b"], ordered=True)
+        assert exact_match(["a", "b"], ["a", "b"], ordered=True)
+
+    def test_duplicates_respected(self):
+        assert not exact_match(["a", "a"], ["a", "b"])
+        assert exact_match(["a", "a"], ["a", "a"])
+
+    def test_unparseable_is_wrong(self):
+        assert not exact_match("no list here", ["x"])
+
+    def test_none_is_wrong(self):
+        assert not exact_match(None, ["x"])
+
+    def test_float_tolerance(self):
+        assert exact_match([2.0000000001], [2.0])

@@ -1,0 +1,66 @@
+"""Property-based tests for exact-match evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.evaluate import exact_match, normalize_answer
+
+values = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("L", "N"), max_codepoint=0x7F
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+gold_lists = st.lists(values, min_size=1, max_size=6)
+
+
+class TestExactMatchProperties:
+    @given(gold_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_reflexive(self, gold):
+        assert exact_match(list(gold), gold)
+        assert exact_match(list(gold), gold, ordered=True)
+
+    @given(gold_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_own_repr(self, gold):
+        # The LM answers with a Python-evaluatable list literal; the
+        # gold's own repr must always match it.
+        assert exact_match(repr(gold), gold)
+
+    @given(gold_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_reversal_matches_unordered_only(self, gold):
+        reversed_answer = list(reversed(gold))
+        assert exact_match(reversed_answer, gold)
+        # Order sensitivity is defined over *canonical* values ("0" and
+        # 0 are the same value), so compare canonical forms.
+        if normalize_answer(reversed_answer) != normalize_answer(gold):
+            assert not exact_match(reversed_answer, gold, ordered=True)
+
+    @given(gold_lists, values)
+    @settings(max_examples=80, deadline=None)
+    def test_extra_value_never_matches(self, gold, extra):
+        assert not exact_match(list(gold) + [extra], gold)
+
+    @given(gold_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_missing_value_never_matches(self, gold):
+        assert not exact_match(gold[:-1], gold)
+
+    @given(st.lists(values, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_normalize_idempotent(self, answer):
+        once = normalize_answer(list(answer))
+        twice = normalize_answer(once)
+        assert once == twice
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        normalize_answer(text)
+        exact_match(text, ["x"])

@@ -1,0 +1,118 @@
+"""Tests for BIRD-style External Knowledge (evidence) support."""
+
+import pytest
+
+from repro.bench.external_knowledge import oracle_external_knowledge
+from repro.lm import LMConfig, SimulatedLM
+from repro.lm.handlers.text2sql import parse_external_knowledge
+from repro.lm.prompts import text2sql_prompt
+
+
+class TestOracleProvider:
+    def test_region_hint(self):
+        hint = oracle_external_knowledge(
+            "How many schools are in the Bay Area?"
+        )
+        assert hint is not None
+        assert "bay area cities are:" in hint.lower()
+        assert "San Francisco" in hint
+
+    def test_height_hint(self):
+        hint = oracle_external_knowledge(
+            "How many players are taller than Stephen Curry?"
+        )
+        assert "Stephen Curry is 188 cm tall." in hint
+
+    def test_euro_hint(self):
+        hint = oracle_external_knowledge(
+            "How many gas stations are in countries that use the Euro?"
+        )
+        assert "Slovakia" in hint
+
+    def test_no_hint_needed(self):
+        assert oracle_external_knowledge(
+            "How many posts have a technical title?"
+        ) is None
+
+    def test_unknown_person_skipped(self):
+        assert oracle_external_knowledge(
+            "players taller than Nobody Realperson"
+        ) is None
+
+
+class TestHintParsing:
+    def test_region_parse(self):
+        overrides = parse_external_knowledge(
+            "The bay area cities are: Oakland, San Jose and Berkeley."
+        )
+        assert overrides[("region_cities", "bay area")] == [
+            "Oakland",
+            "San Jose",
+            "Berkeley",
+        ]
+
+    def test_height_parse(self):
+        overrides = parse_external_knowledge(
+            "Stephen Curry is 188 cm tall."
+        )
+        assert overrides[("height", "stephen curry")] == 188.0
+
+    def test_set_parses(self):
+        overrides = parse_external_knowledge(
+            "Countries that use the Euro: Slovakia, Germany. "
+            "The street circuits are: Circuit de Monaco."
+        )
+        assert overrides["euro_countries"] == ["Slovakia", "Germany"]
+        assert overrides["street_circuits"] == ["Circuit de Monaco"]
+
+    def test_empty_and_unknown(self):
+        assert parse_external_knowledge("") == {}
+        assert parse_external_knowledge("irrelevant trivia.") == {}
+
+
+class TestEvidenceChangesSQL:
+    def test_region_list_overrides_beliefs(self, datasets, lm):
+        question = "How many schools are in the Bay Area?"
+        schema = datasets["california_schools"].prompt_schema()
+        without = lm.complete(
+            text2sql_prompt(schema, question)
+        ).text
+        with_evidence = lm.complete(
+            text2sql_prompt(
+                schema,
+                question,
+                external_knowledge=(
+                    "The bay area cities are: Oakland, Berkeley."
+                ),
+            )
+        ).text
+        assert "'Oakland', 'Berkeley'" in with_evidence.replace(
+            '"', "'"
+        ) or ("'Berkeley', 'Oakland'" in with_evidence)
+        assert with_evidence != without
+
+    def test_oracle_evidence_fixes_height(self, datasets):
+        # Pick a seed where the belief about Peter Crouch drifts; the
+        # evidence pins the height to the canonical value.
+        from repro.knowledge import FuzzyKnowledge, KnowledgeBase
+
+        kb = KnowledgeBase.default()
+        drifted_seed = next(
+            seed
+            for seed in range(200)
+            if FuzzyKnowledge(kb, seed=seed, skepticism=1.25)
+            .believed_height_cm("Peter Crouch") != 201.0
+        )
+        lm = SimulatedLM(LMConfig(seed=drifted_seed))
+        schema = datasets["european_football_2"].prompt_schema()
+        question = "How many players are taller than Peter Crouch?"
+        without = lm.complete(text2sql_prompt(schema, question)).text
+        with_evidence = lm.complete(
+            text2sql_prompt(
+                schema,
+                question,
+                external_knowledge="Peter Crouch is 201 cm tall.",
+            )
+        ).text
+        assert "201" in with_evidence
+        assert "201" not in without

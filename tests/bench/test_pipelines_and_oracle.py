@@ -1,0 +1,169 @@
+"""Tests for gold-oracle helpers and hand-written pipeline behaviour."""
+
+import pytest
+
+from repro.bench import oracle, pipelines
+from repro.bench.queries import PipelineContext
+from repro.frame import DataFrame
+from repro.lm import LMConfig, SimulatedLM
+from repro.semantic import SemanticOperators
+
+
+@pytest.fixture()
+def oracle_ctx(datasets, oracle_lm) -> PipelineContext:
+    """Pipeline context with an oracle LM (no knowledge noise)."""
+    return PipelineContext(
+        dataset=datasets["california_schools"],
+        ops=SemanticOperators(oracle_lm, batch_size=16),
+        lm=oracle_lm,
+    )
+
+
+def _ctx(datasets, domain, lm) -> PipelineContext:
+    return PipelineContext(
+        dataset=datasets[domain],
+        ops=SemanticOperators(lm, batch_size=16),
+        lm=lm,
+    )
+
+
+class TestOracleHelpers:
+    def test_cities_in_region_cached_kb(self):
+        assert oracle.oracle_kb() is oracle.oracle_kb()
+
+    def test_filter_by_region(self, datasets):
+        schools = datasets["california_schools"].frame("schools")
+        bay = oracle.filter_by_region(schools, "bay area")
+        assert 0 < len(bay) < len(schools)
+        assert "Los Angeles" not in bay["City"].unique()
+
+    def test_person_height_unknown_raises(self):
+        with pytest.raises(ValueError):
+            oracle.person_height("Nobody Real")
+
+    def test_set_helpers_nonempty(self):
+        assert "Slovakia" in oracle.euro_countries()
+        assert "Czech Republic" in oracle.eu_countries()
+        assert "Circuit de Monaco" in oracle.street_circuits()
+        assert "Sepang International Circuit" in (
+            oracle.circuits_in_region("southeast asia")
+        )
+        assert "England Premier League" in oracle.uk_leagues()
+
+    def test_text_judgments(self):
+        assert oracle.is_positive("wonderful, excellent work")
+        assert oracle.is_negative("a terrible mess")
+        assert oracle.is_sarcastic("Oh great, yeah right, as if.")
+        assert oracle.is_technical(
+            "Bayesian covariance eigenvalue regularization"
+        )
+
+    def test_rank_by_descending(self):
+        texts = ["plain words here", "gradient descent convergence"]
+        from repro.text.technicality import technicality_score
+
+        ranked = oracle.rank_by(texts, technicality_score)
+        assert ranked[0] == "gradient descent convergence"
+
+
+class TestPipelineHelpers:
+    def test_region_filter_judges_unique_cities_once(self, datasets):
+        lm = SimulatedLM(LMConfig(seed=0))
+        ctx = _ctx(datasets, "california_schools", lm)
+        schools = ctx.frame("schools")
+        pipelines.filter_by_region(ctx, schools, "Bay Area")
+        unique_cities = len(schools["City"].unique())
+        assert lm.usage.calls == unique_cities
+
+    def test_height_filter_with_oracle_matches_gold(
+        self, datasets, oracle_lm
+    ):
+        ctx = _ctx(datasets, "european_football_2", oracle_lm)
+        players = ctx.frame("Player")
+        taller = pipelines.filter_players_by_height(
+            ctx, players, "Stephen Curry", "taller"
+        )
+        threshold = oracle.person_height("Stephen Curry")
+        expected = players[players["height"] > threshold]
+        assert sorted(taller["player_name"].tolist()) == sorted(
+            expected["player_name"].tolist()
+        )
+
+    def test_uk_league_filter(self, datasets, oracle_lm):
+        ctx = _ctx(datasets, "european_football_2", oracle_lm)
+        uk = pipelines.filter_uk_leagues(ctx, ctx.frame("League"))
+        assert sorted(uk["name"].tolist()) == sorted(oracle.uk_leagues())
+
+    def test_races_with_circuits_disambiguates_names(
+        self, datasets, oracle_lm
+    ):
+        ctx = _ctx(datasets, "formula_1", oracle_lm)
+        joined = pipelines.races_with_circuits(ctx)
+        assert "race_name" in joined.columns
+        assert "circuit_name" in joined.columns
+
+    def test_comments_for_post_title_keeps_comment_columns(
+        self, datasets, oracle_lm
+    ):
+        ctx = _ctx(datasets, "codebase_community", oracle_lm)
+        comments = pipelines.comments_for_post_title(
+            ctx, "How does gentle boosting differ from AdaBoost?"
+        )
+        for column in ("Text", "Score", "UserId", "CreationDate"):
+            assert column in comments.columns
+        assert len(comments) == 6
+
+    def test_street_circuit_filter_with_oracle(self, datasets, oracle_lm):
+        ctx = _ctx(datasets, "formula_1", oracle_lm)
+        street = pipelines.filter_street_circuits(
+            ctx, ctx.frame("circuits")
+        )
+        assert sorted(street["name"].tolist()) == sorted(
+            oracle.street_circuits()
+        )
+
+
+class TestOraclePipelinesAgree:
+    """With an oracle LM and no judgment noise, every hand-written
+    pipeline should reproduce its gold answer except where graded
+    ranking jitter is inherent — a strong cross-check that pipelines
+    and gold functions implement the same query."""
+
+    def test_knowledge_pipelines_match_gold_with_oracle_lm(
+        self, suite, datasets
+    ):
+        from repro.bench.evaluate import exact_match
+        from repro.lm import concepts
+
+        lm = SimulatedLM(LMConfig(seed=0, skepticism=0.0))
+        old = (
+            concepts.RANK_JITTER,
+            concepts.PAIR_MARGIN,
+            concepts.TEXT_MARGIN,
+        )
+        concepts.RANK_JITTER = 0.0
+        concepts.PAIR_MARGIN = 0.0
+        concepts.TEXT_MARGIN = 0.0
+        try:
+            mismatches = []
+            for spec in suite:
+                if spec.gold is None:
+                    continue
+                ctx = PipelineContext(
+                    dataset=datasets[spec.domain],
+                    ops=SemanticOperators(lm, batch_size=32),
+                    lm=lm,
+                )
+                answer = spec.pipeline(ctx)
+                gold = spec.gold(datasets[spec.domain])
+                if not exact_match(
+                    answer, gold, ordered=spec.query_type == "ranking"
+                ):
+                    mismatches.append((spec.qid, answer, gold))
+            assert not mismatches, mismatches[:5]
+        finally:
+            (
+                concepts.RANK_JITTER,
+                concepts.PAIR_MARGIN,
+                concepts.TEXT_MARGIN,
+            ) = old

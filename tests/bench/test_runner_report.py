@@ -1,0 +1,103 @@
+"""Tests for the benchmark runner and report rendering."""
+
+import pytest
+
+from repro.bench.report import (
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+from repro.bench.runner import run_benchmark
+
+
+@pytest.fixture(scope="module")
+def small_report(suite=None):
+    from repro.bench.suite import build_suite
+
+    queries = [
+        s
+        for s in build_suite()
+        if s.qid in (
+            "match-k01",
+            "comparison-k02",
+            "ranking-r02",
+            "aggregation-r01",
+        )
+    ]
+    return run_benchmark(seed=0, queries=queries)
+
+
+class TestRunner:
+    def test_all_method_query_pairs_present(self, small_report):
+        assert len(small_report.records) == 4 * 5
+        assert len(small_report.methods) == 5
+
+    def test_aggregation_has_no_correctness(self, small_report):
+        for record in small_report.records:
+            if record.query_type == "aggregation":
+                assert record.correct is None
+            else:
+                assert record.correct in (True, False)
+
+    def test_gold_shared_across_methods(self, small_report):
+        golds = {
+            record.method: record.gold
+            for record in small_report.records
+            if record.qid == "comparison-k02"
+        }
+        assert len(set(map(tuple, golds.values()))) == 1
+
+    def test_et_positive(self, small_report):
+        assert all(r.et_seconds > 0 for r in small_report.records)
+
+    def test_accuracy_and_et_helpers(self, small_report):
+        for method in small_report.methods:
+            accuracy = small_report.accuracy(method)
+            assert accuracy is None or 0.0 <= accuracy <= 1.0
+            assert small_report.mean_et(method) > 0
+
+    def test_accuracy_none_when_no_scoreable(self, small_report):
+        assert small_report.accuracy(
+            "RAG", query_type="aggregation"
+        ) is None
+
+    def test_record_lookup(self, small_report):
+        record = small_report.record("RAG", "match-k01")
+        assert record.method == "RAG"
+        with pytest.raises(KeyError):
+            small_report.record("RAG", "nope")
+
+    def test_determinism(self):
+        from repro.bench.suite import build_suite
+
+        queries = build_suite()[:2]
+        first = run_benchmark(seed=0, queries=queries)
+        second = run_benchmark(seed=0, queries=queries)
+        for a, b in zip(first.records, second.records):
+            assert (a.answer, a.correct, a.et_seconds) == (
+                b.answer, b.correct, b.et_seconds,
+            )
+
+
+class TestReport:
+    def test_table1_rows_structure(self, small_report):
+        rows = table1_rows(small_report)
+        assert len(rows) == 5
+        assert "Overall EM" in rows[0]
+        assert "Aggregation ET" in rows[0]
+        assert rows[0]["Aggregation EM"] is None  # N/A column
+
+    def test_table2_rows_structure(self, small_report):
+        rows = table2_rows(small_report)
+        assert {"Knowledge EM", "Reasoning EM"} <= set(rows[0])
+
+    def test_formatting_contains_all_methods(self, small_report):
+        text = format_table1(small_report)
+        for method in small_report.methods:
+            assert method in text
+        assert "N/A" in text  # aggregation EM column
+
+    def test_table2_formatting(self, small_report):
+        text = format_table2(small_report)
+        assert "Knowledge" in text and "Reasoning" in text

@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, suites) are session-scoped; mutable ones
+(databases, LMs) are function-scoped so tests never interfere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import build_suite
+from repro.data import load_all
+from repro.data.base import Dataset
+from repro.db import Column, Database, DataType, TableSchema
+from repro.knowledge import KnowledgeBase
+from repro.lm import LMConfig, SimulatedLM
+
+
+@pytest.fixture(scope="session")
+def datasets() -> dict[str, Dataset]:
+    return load_all(seed=0)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return build_suite()
+
+
+@pytest.fixture(scope="session")
+def kb() -> KnowledgeBase:
+    return KnowledgeBase.default()
+
+
+@pytest.fixture()
+def lm() -> SimulatedLM:
+    return SimulatedLM(LMConfig(seed=0))
+
+
+@pytest.fixture()
+def oracle_lm() -> SimulatedLM:
+    """An LM with knowledge errors disabled (skepticism 0)."""
+    return SimulatedLM(LMConfig(seed=0, skepticism=0.0))
+
+
+@pytest.fixture()
+def movies_db() -> Database:
+    """A small movies table used across engine tests."""
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "movies",
+            [
+                Column(
+                    "id", DataType.INTEGER, nullable=False, primary_key=True
+                ),
+                Column("title", DataType.TEXT),
+                Column("genre", DataType.TEXT),
+                Column("revenue", DataType.REAL),
+                Column("year", DataType.INTEGER),
+            ],
+        )
+    )
+    db.insert(
+        "movies",
+        [
+            [1, "Titanic", "Romance", 2257.8, 1997],
+            [2, "The Notebook", "Romance", 115.6, 2004],
+            [3, "Avatar", "SciFi", 2923.7, 2009],
+            [4, "Casablanca", "Romance", 10.2, 1942],
+            [5, "The Matrix", "SciFi", 467.2, 1999],
+            [6, "Unrated", None, None, 2020],
+        ],
+    )
+    return db

@@ -1,0 +1,81 @@
+"""Reproduction of the paper's Figure 1 worked example.
+
+"Summarize the reviews of the highest grossing romance movie considered
+a 'classic'" over the movies table, with the 'classic' judgment pushed
+into SQL as an LM UDF — the exec-side LM-operator design §2.1 describes.
+"""
+
+import pytest
+
+from repro.core import FixedQuerySynthesizer, SQLExecutor, TAGPipeline
+from repro.core.generation import SingleCallGenerator
+from repro.data import movies
+from repro.lm import LMConfig, SimulatedLM, prompts
+
+
+@pytest.fixture()
+def movie_dataset():
+    return movies.build()
+
+
+@pytest.fixture()
+def figure1_lm():
+    return SimulatedLM(LMConfig(seed=0, skepticism=0.0))
+
+
+def _register_classic_udf(dataset, lm) -> None:
+    def llm_udf(task: str, value: str) -> str:
+        condition = f"'{value}' is {task}"
+        response = lm.complete(prompts.judgment_prompt(condition))
+        return response.text
+
+    dataset.db.register_udf("LLM", llm_udf, expensive=True)
+
+
+class TestFigure1:
+    def test_exec_step_finds_titanic(self, movie_dataset, figure1_lm):
+        _register_classic_udf(movie_dataset, figure1_lm)
+        result = movie_dataset.db.execute(
+            "SELECT movie_title, review FROM movies "
+            "WHERE genre = 'Romance' "
+            "AND LLM('considered a ''classic''', movie_title) = 'yes' "
+            "ORDER BY revenue DESC LIMIT 1"
+        )
+        assert result.rows[0][0] == "Titanic"
+
+    def test_full_tag_pipeline_summarises_reviews(
+        self, movie_dataset, figure1_lm
+    ):
+        _register_classic_udf(movie_dataset, figure1_lm)
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer(
+                "SELECT movie_title, review FROM movies "
+                "WHERE genre = 'Romance' "
+                "AND LLM('considered a ''classic''', movie_title) = 'yes' "
+                "ORDER BY revenue DESC LIMIT 1"
+            ),
+            SQLExecutor(movie_dataset.db),
+            SingleCallGenerator(figure1_lm, aggregation=True),
+        )
+        result = pipeline.run(
+            "Summarize the reviews of the highest grossing romance "
+            "movie considered a 'classic'"
+        )
+        assert result.ok
+        assert result.table[0]["movie_title"] == "Titanic"
+        assert "Titanic" in result.answer
+
+    def test_expensive_udf_saves_lm_calls(self, movie_dataset, figure1_lm):
+        # The optimizer applies the genre filter before the LM UDF, so
+        # only romance titles are judged.
+        _register_classic_udf(movie_dataset, figure1_lm)
+        movie_dataset.db.execute(
+            "SELECT movie_title FROM movies WHERE genre = 'Romance' "
+            "AND LLM('considered a ''classic''', movie_title) = 'yes'"
+        )
+        romance_count = len(
+            movie_dataset.db.execute(
+                "SELECT * FROM movies WHERE genre = 'Romance'"
+            ).rows
+        )
+        assert figure1_lm.usage.calls == romance_count

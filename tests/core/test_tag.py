@@ -1,0 +1,136 @@
+"""Unit tests for the TAG core: pipeline composition and steps."""
+
+import pytest
+
+from repro.core import (
+    EmbeddingSynthesizer,
+    FixedQuerySynthesizer,
+    LMQuerySynthesizer,
+    MapReduceGenerator,
+    NoGenerator,
+    SQLExecutor,
+    SingleCallGenerator,
+    TAGPipeline,
+    VectorSearchExecutor,
+)
+from repro.core.synthesis import _broaden_to_retrieval
+from repro.embed import HashingEmbedder
+from repro.errors import ReproError
+
+
+class TestTAGPipeline:
+    def test_composes_three_steps(self, movies_db):
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer(
+                "SELECT title FROM movies WHERE revenue > 1000"
+            ),
+            SQLExecutor(movies_db),
+            NoGenerator(),
+        )
+        result = pipeline.run("Which movies grossed over a billion?")
+        assert result.ok
+        assert result.answer == ["Titanic", "Avatar"]
+        assert result.query.startswith("SELECT")
+        assert len(result.table) == 2
+
+    def test_errors_captured_not_raised(self, movies_db):
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer("SELECT broken FROM nowhere"),
+            SQLExecutor(movies_db),
+            NoGenerator(),
+        )
+        result = pipeline.run("anything")
+        assert not result.ok
+        assert isinstance(result.error, ReproError)
+        assert result.answer is None
+
+
+class TestSynthesizers:
+    def test_fixed(self):
+        assert FixedQuerySynthesizer("Q").synthesize("anything") == "Q"
+
+    def test_lm_synthesizer_produces_sql(self, lm, datasets):
+        synthesizer = LMQuerySynthesizer(
+            lm, datasets["california_schools"]
+        )
+        sql = synthesizer.synthesize("How many schools are there?")
+        assert sql.upper().startswith("SELECT")
+
+    def test_retrieval_mode_broadens(self):
+        sql = "SELECT COUNT(*) FROM t WHERE a > 1 ORDER BY a LIMIT 3"
+        broadened = _broaden_to_retrieval(sql)
+        assert broadened.startswith("SELECT * FROM")
+        assert "LIMIT" not in broadened
+        assert "WHERE a > 1" in broadened
+
+    def test_embedding_synthesizer(self):
+        embedder = HashingEmbedder(dimensions=64)
+        vector = EmbeddingSynthesizer(embedder).synthesize("hello")
+        assert vector.shape == (64,)
+
+
+class TestExecutors:
+    def test_sql_executor_returns_records(self, movies_db):
+        records = SQLExecutor(movies_db).execute(
+            "SELECT title, year FROM movies WHERE id = 1"
+        )
+        assert records == [{"title": "Titanic", "year": 1997}]
+
+    def test_sql_executor_row_cap(self, movies_db):
+        records = SQLExecutor(movies_db, max_rows=2).execute(
+            "SELECT * FROM movies"
+        )
+        assert len(records) == 2
+
+    def test_vector_executor_retrieves_relevant_rows(self, datasets):
+        embedder = HashingEmbedder()
+        executor = VectorSearchExecutor(
+            datasets["formula_1"], embedder, k=5
+        )
+        query = embedder.embed(
+            "Sepang International Circuit Kuala Lumpur Malaysia"
+        )
+        records = executor.execute(query)
+        assert len(records) == 5
+        assert any(
+            record.get("name") == "Sepang International Circuit"
+            for record in records
+        )
+
+    def test_vector_executor_corpus_covers_all_tables(self, datasets):
+        executor = VectorSearchExecutor(
+            datasets["codebase_community"], HashingEmbedder(), k=1
+        )
+        db = datasets["codebase_community"].db
+        expected = sum(len(db.table(t)) for t in db.table_names)
+        assert executor.corpus_size == expected
+
+
+class TestGenerators:
+    def test_no_generator_flattens(self):
+        generator = NoGenerator()
+        assert generator.generate("q", [{"a": 1}, {"a": 2}]) == [1, 2]
+        assert generator.generate("q", [{"a": 1, "b": 2}]) == [(1, 2)]
+
+    def test_single_call_generator(self, lm):
+        generator = SingleCallGenerator(lm)
+        answer = generator.generate(
+            "How many rows are there?", [{"x": "1"}]
+        )
+        assert answer.startswith("[")
+
+    def test_map_reduce_generator_folds(self, lm):
+        generator = MapReduceGenerator(lm, chunk_rows=8)
+        table = [{"year": 1999 + i} for i in range(30)]
+        answer = generator.generate("Summarize the years", table)
+        assert answer
+        assert lm.usage.calls >= 4  # chunked folding
+
+    def test_map_reduce_empty_table(self, lm):
+        generator = MapReduceGenerator(lm)
+        answer = generator.generate("Summarize anything", [])
+        assert "do not contain" in answer
+
+    def test_map_reduce_validates_chunk(self, lm):
+        with pytest.raises(ValueError):
+            MapReduceGenerator(lm, chunk_rows=1)

@@ -1,0 +1,421 @@
+"""End-to-end SQL execution tests against the engine (via Database)."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, PlanningError, SQLSyntaxError
+
+
+def rows(db, sql, **kwargs):
+    return db.execute(sql, **kwargs).rows
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, movies_db):
+        result = movies_db.execute("SELECT * FROM movies")
+        assert result.columns == ["id", "title", "genre", "revenue", "year"]
+        assert len(result) == 6
+
+    def test_qualified_star(self, movies_db):
+        result = movies_db.execute("SELECT m.* FROM movies m")
+        assert len(result.columns) == 5
+
+    def test_where_filters_and_null_is_false(self, movies_db):
+        # The NULL-genre row must not satisfy genre = 'Romance'.
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE genre = 'Romance'"
+        ).column("title")
+        assert titles == ["Titanic", "The Notebook", "Casablanca"]
+
+    def test_is_null(self, movies_db):
+        assert rows(
+            movies_db, "SELECT title FROM movies WHERE genre IS NULL"
+        ) == [("Unrated",)]
+
+    def test_not_and_or(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE NOT genre = 'Romance' "
+            "OR revenue > 2000"
+        ).column("title")
+        assert "Titanic" in titles
+        assert "Avatar" in titles
+        assert "Casablanca" not in titles
+
+    def test_expression_projection(self, movies_db):
+        result = movies_db.execute(
+            "SELECT title, revenue / 1000.0 AS b FROM movies WHERE id = 1"
+        )
+        assert result.columns == ["title", "b"]
+        assert result.rows[0][1] == pytest.approx(2.2578)
+
+    def test_like(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE title LIKE 'the %'"
+        ).column("title")
+        assert titles == ["The Notebook", "The Matrix"]
+
+    def test_between(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE year BETWEEN 1997 AND 2004"
+        ).column("title")
+        assert titles == ["Titanic", "The Notebook", "The Matrix"]
+
+    def test_in_list(self, movies_db):
+        assert len(
+            rows(
+                movies_db,
+                "SELECT * FROM movies WHERE id IN (1, 3, 99)",
+            )
+        ) == 2
+
+    def test_case_expression(self, movies_db):
+        result = movies_db.execute(
+            "SELECT title, CASE WHEN revenue > 1000 THEN 'hit' "
+            "WHEN revenue IS NULL THEN 'unknown' ELSE 'modest' END AS tier "
+            "FROM movies ORDER BY id"
+        )
+        tiers = result.column("tier")
+        assert tiers == ["hit", "modest", "hit", "modest", "modest", "unknown"]
+
+    def test_select_without_from(self, movies_db):
+        assert rows(movies_db, "SELECT 1 + 2, 'x' || 'y'") == [(3, "xy")]
+
+
+class TestOrderingAndLimits:
+    def test_order_by_desc_with_limit(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE revenue IS NOT NULL "
+            "ORDER BY revenue DESC LIMIT 2"
+        ).column("title")
+        assert titles == ["Avatar", "Titanic"]
+
+    def test_order_by_positional(self, movies_db):
+        result = movies_db.execute(
+            "SELECT title, year FROM movies ORDER BY 2 LIMIT 1"
+        )
+        assert result.rows[0][0] == "Casablanca"
+
+    def test_order_by_alias(self, movies_db):
+        result = movies_db.execute(
+            "SELECT title, revenue AS r FROM movies "
+            "WHERE revenue IS NOT NULL ORDER BY r LIMIT 1"
+        )
+        assert result.rows[0][0] == "Casablanca"
+
+    def test_order_by_unprojected_expression(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies ORDER BY ABS(year - 2000) LIMIT 2"
+        ).column("title")
+        assert titles == ["The Matrix", "Titanic"]
+
+    def test_nulls_sort_first_ascending(self, movies_db):
+        first = rows(
+            movies_db, "SELECT title FROM movies ORDER BY revenue LIMIT 1"
+        )
+        assert first == [("Unrated",)]
+
+    def test_offset(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies ORDER BY id LIMIT 2 OFFSET 1"
+        ).column("title")
+        assert titles == ["The Notebook", "Avatar"]
+
+    def test_negative_limit_means_unlimited(self, movies_db):
+        assert len(rows(movies_db, "SELECT id FROM movies LIMIT -1")) == 6
+
+    def test_distinct(self, movies_db):
+        genres = movies_db.execute(
+            "SELECT DISTINCT genre FROM movies WHERE genre IS NOT NULL "
+            "ORDER BY genre"
+        ).column("genre")
+        assert genres == ["Romance", "SciFi"]
+
+    def test_multi_key_sort_stability(self, movies_db):
+        result = movies_db.execute(
+            "SELECT genre, title FROM movies WHERE genre IS NOT NULL "
+            "ORDER BY genre ASC, year DESC"
+        )
+        assert result.rows[0] == ("Romance", "The Notebook")
+        assert result.rows[2] == ("Romance", "Casablanca")
+
+
+class TestAggregation:
+    def test_count_star_vs_count_column(self, movies_db):
+        result = movies_db.execute(
+            "SELECT COUNT(*), COUNT(revenue) FROM movies"
+        )
+        assert result.rows == [(6, 5)]
+
+    def test_count_on_empty_input_is_zero(self, movies_db):
+        assert rows(
+            movies_db, "SELECT COUNT(*) FROM movies WHERE id > 99"
+        ) == [(0,)]
+
+    def test_sum_avg_min_max(self, movies_db):
+        result = movies_db.execute(
+            "SELECT SUM(year), AVG(revenue), MIN(year), MAX(title) "
+            "FROM movies WHERE genre = 'SciFi'"
+        )
+        total_year, avg_revenue, min_year, max_title = result.rows[0]
+        assert total_year == 2009 + 1999
+        assert avg_revenue == pytest.approx((2923.7 + 467.2) / 2)
+        assert min_year == 1999
+        assert max_title == "The Matrix"
+
+    def test_sum_of_no_rows_is_null_total_is_zero(self, movies_db):
+        result = movies_db.execute(
+            "SELECT SUM(revenue), TOTAL(revenue) FROM movies WHERE id > 99"
+        )
+        assert result.rows == [(None, 0.0)]
+
+    def test_group_by_with_having(self, movies_db):
+        result = movies_db.execute(
+            "SELECT genre, COUNT(*) AS n FROM movies "
+            "WHERE genre IS NOT NULL GROUP BY genre HAVING n > 2"
+        )
+        assert result.rows == [("Romance", 3)]
+
+    def test_group_by_positional(self, movies_db):
+        result = movies_db.execute(
+            "SELECT genre, COUNT(*) FROM movies GROUP BY 1 ORDER BY 2 DESC"
+        )
+        assert result.rows[0][0] == "Romance"
+
+    def test_count_distinct(self, movies_db):
+        assert rows(
+            movies_db, "SELECT COUNT(DISTINCT genre) FROM movies"
+        ) == [(2,)]
+
+    def test_group_concat(self, movies_db):
+        result = movies_db.execute(
+            "SELECT GROUP_CONCAT(title) FROM movies WHERE genre = 'SciFi'"
+        )
+        assert result.rows == [("Avatar,The Matrix",)]
+
+    def test_aggregate_in_expression(self, movies_db):
+        result = movies_db.execute(
+            "SELECT MAX(revenue) - MIN(revenue) FROM movies"
+        )
+        assert result.rows[0][0] == pytest.approx(2923.7 - 10.2)
+
+    def test_bare_column_with_aggregate_is_lenient(self, movies_db):
+        # SQLite-style leniency: a bare column in an aggregate query
+        # resolves to a representative row instead of erroring.
+        result = movies_db.execute("SELECT title, COUNT(*) FROM movies")
+        assert result.rows[0][1] == 6
+
+    def test_order_by_aggregate(self, movies_db):
+        result = movies_db.execute(
+            "SELECT genre FROM movies WHERE genre IS NOT NULL "
+            "GROUP BY genre ORDER BY COUNT(*) DESC"
+        )
+        assert result.column("genre") == ["Romance", "SciFi"]
+
+    def test_having_without_group_by_rejected(self, movies_db):
+        with pytest.raises(PlanningError):
+            movies_db.execute("SELECT title FROM movies HAVING title > 'a'")
+
+
+class TestJoins:
+    @pytest.fixture()
+    def joined_db(self, movies_db) -> Database:
+        movies_db.execute(
+            "CREATE TABLE reviews (movie_id INTEGER, stars INTEGER)"
+        )
+        movies_db.execute(
+            "INSERT INTO reviews VALUES (1, 5), (1, 4), (3, 5), (99, 1)"
+        )
+        return movies_db
+
+    def test_inner_join(self, joined_db):
+        result = joined_db.execute(
+            "SELECT m.title, r.stars FROM movies m "
+            "JOIN reviews r ON m.id = r.movie_id ORDER BY m.title, r.stars"
+        )
+        assert result.rows == [
+            ("Avatar", 5),
+            ("Titanic", 4),
+            ("Titanic", 5),
+        ]
+
+    def test_left_join_keeps_unmatched(self, joined_db):
+        result = joined_db.execute(
+            "SELECT m.title, r.stars FROM movies m "
+            "LEFT JOIN reviews r ON m.id = r.movie_id "
+            "WHERE m.id = 2"
+        )
+        assert result.rows == [("The Notebook", None)]
+
+    def test_join_with_aggregate(self, joined_db):
+        result = joined_db.execute(
+            "SELECT m.title, AVG(r.stars) FROM movies m "
+            "JOIN reviews r ON m.id = r.movie_id GROUP BY m.title "
+            "ORDER BY m.title"
+        )
+        assert result.rows == [("Avatar", 5.0), ("Titanic", 4.5)]
+
+    def test_cross_join_count(self, joined_db):
+        assert rows(
+            joined_db, "SELECT COUNT(*) FROM movies, reviews"
+        ) == [(24,)]
+
+    def test_non_equi_join(self, joined_db):
+        result = joined_db.execute(
+            "SELECT COUNT(*) FROM movies m JOIN reviews r "
+            "ON m.id < r.movie_id"
+        )
+        # movie ids are 1..6; review movie_ids are 1, 1, 3, 99:
+        # id < 1 matches nothing (x2), id < 3 matches ids 1-2,
+        # id < 99 matches all 6 -> 0 + 0 + 2 + 6 = 8 pairs.
+        assert result.rows[0][0] == 8
+
+    def test_self_join_with_aliases(self, movies_db):
+        result = movies_db.execute(
+            "SELECT a.title FROM movies a JOIN movies b "
+            "ON a.genre = b.genre AND a.id <> b.id "
+            "WHERE b.title = 'Titanic'"
+        )
+        assert sorted(result.column("title")) == [
+            "Casablanca",
+            "The Notebook",
+        ]
+
+    def test_subquery_in_from_with_join(self, joined_db):
+        result = joined_db.execute(
+            "SELECT m.title, s.n FROM movies m JOIN "
+            "(SELECT movie_id, COUNT(*) AS n FROM reviews GROUP BY "
+            "movie_id) s ON m.id = s.movie_id ORDER BY s.n DESC"
+        )
+        assert result.rows[0] == ("Titanic", 2)
+
+    def test_ambiguous_column_rejected(self, joined_db):
+        with pytest.raises(PlanningError):
+            joined_db.execute(
+                "SELECT id FROM movies m JOIN movies n ON m.id = n.id"
+            )
+
+
+class TestSubqueries:
+    def test_in_subquery(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE id IN "
+            "(SELECT id FROM movies WHERE revenue > 1000)"
+        ).column("title")
+        assert titles == ["Titanic", "Avatar"]
+
+    def test_not_in_subquery(self, movies_db):
+        titles = movies_db.execute(
+            "SELECT title FROM movies WHERE id NOT IN "
+            "(SELECT id FROM movies WHERE revenue > 100)"
+        ).column("title")
+        assert titles == ["Casablanca", "Unrated"]
+
+    def test_scalar_subquery(self, movies_db):
+        result = movies_db.execute(
+            "SELECT title FROM movies WHERE revenue = "
+            "(SELECT MAX(revenue) FROM movies)"
+        )
+        assert result.rows == [("Avatar",)]
+
+    def test_exists(self, movies_db):
+        assert rows(
+            movies_db,
+            "SELECT 1 WHERE EXISTS (SELECT 1 FROM movies WHERE id = 1)",
+        ) == [(1,)]
+
+
+class TestErrors:
+    def test_unknown_table(self, movies_db):
+        with pytest.raises(PlanningError):
+            movies_db.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, movies_db):
+        with pytest.raises(PlanningError):
+            movies_db.execute("SELECT nope FROM movies")
+
+    def test_syntax_error(self, movies_db):
+        with pytest.raises(SQLSyntaxError):
+            movies_db.execute("SELEKT 1")
+
+    def test_arithmetic_on_text_raises(self, movies_db):
+        with pytest.raises(ExecutionError):
+            movies_db.execute("SELECT title + 1 FROM movies")
+
+    def test_division_by_zero_is_null(self, movies_db):
+        assert rows(movies_db, "SELECT 1 / 0") == [(None,)]
+
+
+class TestOptimizerEquivalence:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT title FROM movies WHERE genre = 'Romance' "
+            "ORDER BY revenue DESC",
+            "SELECT genre, COUNT(*) FROM movies GROUP BY genre "
+            "ORDER BY 2 DESC, 1",
+            "SELECT a.title FROM movies a JOIN movies b ON a.id = b.id "
+            "WHERE b.revenue > 100 ORDER BY a.id",
+        ],
+    )
+    def test_optimized_matches_unoptimized(self, movies_db, sql):
+        assert rows(movies_db, sql, optimize=True) == rows(
+            movies_db, sql, optimize=False
+        )
+
+    def test_explain_shows_pushdown(self, movies_db):
+        plan = movies_db.explain(
+            "SELECT a.title FROM movies a JOIN movies b ON a.id = b.id "
+            "WHERE a.genre = 'Romance'"
+        )
+        assert "HashJoin" in plan
+        lines = plan.splitlines()
+        filter_depth = next(
+            line.index("Filter") for line in lines if "Filter" in line
+        )
+        join_depth = next(
+            line.index("HashJoin") for line in lines if "HashJoin" in line
+        )
+        assert filter_depth > join_depth  # filter pushed below the join
+
+    def test_index_lookup_used(self, movies_db):
+        movies_db.create_index("movies", "genre")
+        plan = movies_db.explain(
+            "SELECT title FROM movies WHERE genre = 'SciFi'"
+        )
+        assert "IndexLookup" in plan
+
+    def test_expensive_udf_applied_last(self, movies_db):
+        movies_db.register_udf(
+            "SLOWYES", lambda *_: "yes", expensive=True
+        )
+        plan = movies_db.explain(
+            "SELECT title FROM movies WHERE SLOWYES(title) = 'yes' "
+            "AND genre = 'Romance'"
+        )
+        cheap_line = next(
+            line for line in plan.splitlines() if "Filter(where)" in line
+        )
+        expensive_line = next(
+            line
+            for line in plan.splitlines()
+            if "expensive" in line
+        )
+        assert plan.index(expensive_line) < plan.index(cheap_line)
+
+
+class TestUDFs:
+    def test_udf_in_projection_and_filter(self, movies_db):
+        movies_db.register_udf(
+            "SENTIMENT", lambda text: "long" if len(text) > 7 else "short"
+        )
+        result = movies_db.execute(
+            "SELECT title, SENTIMENT(title) FROM movies "
+            "WHERE SENTIMENT(title) = 'short' ORDER BY id"
+        )
+        assert ("Titanic", "short") in result.rows
+        assert all(row[1] == "short" for row in result.rows)
+
+    def test_udf_error_wrapped(self, movies_db):
+        movies_db.register_udf("BOOM", lambda: 1 / 0)
+        with pytest.raises(ExecutionError):
+            movies_db.execute("SELECT BOOM()")

@@ -1,0 +1,99 @@
+"""Property-based join algebra tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Database, DataType, TableSchema
+
+keys = st.one_of(st.none(), st.integers(0, 5))
+
+
+@st.composite
+def two_tables(draw):
+    left = [
+        (draw(keys), draw(st.integers(-9, 9)))
+        for _ in range(draw(st.integers(0, 12)))
+    ]
+    right = [
+        (draw(keys), draw(st.sampled_from(["x", "y", "z"])))
+        for _ in range(draw(st.integers(0, 12)))
+    ]
+    return left, right
+
+
+def _database(left_rows, right_rows) -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "l",
+            [Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "r",
+            [Column("k", DataType.INTEGER), Column("w", DataType.TEXT)],
+        )
+    )
+    db.insert("l", left_rows)
+    db.insert("r", right_rows)
+    return db
+
+
+class TestJoinAlgebra:
+    @given(two_tables())
+    @settings(max_examples=50, deadline=None)
+    def test_inner_join_commutative(self, tables):
+        db = _database(*tables)
+        forward = db.execute(
+            "SELECT l.k, l.v, r.w FROM l JOIN r ON l.k = r.k "
+            "ORDER BY 1, 2, 3"
+        ).rows
+        backward = db.execute(
+            "SELECT l.k, l.v, r.w FROM r JOIN l ON r.k = l.k "
+            "ORDER BY 1, 2, 3"
+        ).rows
+        assert forward == backward
+
+    @given(two_tables())
+    @settings(max_examples=50, deadline=None)
+    def test_join_size_matches_key_multiplicity(self, tables):
+        left_rows, right_rows = tables
+        db = _database(left_rows, right_rows)
+        joined = db.execute(
+            "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k"
+        ).scalar()
+        expected = sum(
+            sum(1 for rk, _ in right_rows if rk == lk)
+            for lk, _ in left_rows
+            if lk is not None
+        )
+        assert joined == expected
+
+    @given(two_tables())
+    @settings(max_examples=50, deadline=None)
+    def test_left_join_supersets_inner(self, tables):
+        db = _database(*tables)
+        inner = db.execute(
+            "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k"
+        ).scalar()
+        left = db.execute(
+            "SELECT COUNT(*) FROM l LEFT JOIN r ON l.k = r.k"
+        ).scalar()
+        left_rows = db.execute("SELECT COUNT(*) FROM l").scalar()
+        assert left >= inner
+        assert left >= left_rows
+
+    @given(two_tables())
+    @settings(max_examples=50, deadline=None)
+    def test_join_then_filter_equals_filter_then_join(self, tables):
+        db = _database(*tables)
+        late = db.execute(
+            "SELECT l.k, l.v FROM l JOIN r ON l.k = r.k "
+            "WHERE l.v > 0 ORDER BY 1, 2"
+        ).rows
+        early = db.execute(
+            "SELECT s.k, s.v FROM (SELECT * FROM l WHERE v > 0) s "
+            "JOIN r ON s.k = r.k ORDER BY 1, 2"
+        ).rows
+        assert late == early

@@ -1,0 +1,99 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.db.sql.lexer import TokenType, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def _texts(sql):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert _texts("select From") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+        ]
+
+    def test_identifier_vs_keyword(self):
+        tokens = _texts("SELECT revenue")
+        assert tokens[1] == (TokenType.IDENTIFIER, "revenue")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestLiterals:
+    def test_string_with_escaped_quote(self):
+        tokens = _texts("'it''s'")
+        assert tokens == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_integer_and_float(self):
+        assert _texts("42 4.5 1e3 2E-2") == [
+            (TokenType.INTEGER, "42"),
+            (TokenType.FLOAT, "4.5"),
+            (TokenType.FLOAT, "1e3"),
+            (TokenType.FLOAT, "2E-2"),
+        ]
+
+    def test_leading_dot_float(self):
+        assert _texts(".5") == [(TokenType.FLOAT, ".5")]
+
+    def test_number_then_word_boundary(self):
+        tokens = _texts("1e")  # not scientific: falls back to INTEGER + id
+        assert tokens[0] == (TokenType.INTEGER, "1")
+        assert tokens[1] == (TokenType.IDENTIFIER, "e")
+
+
+class TestQuotedIdentifiers:
+    @pytest.mark.parametrize(
+        "sql", ['"Academic Year"', "`Academic Year`", "[Academic Year]"]
+    )
+    def test_quoting_styles(self, sql):
+        assert _texts(sql) == [(TokenType.IDENTIFIER, "Academic Year")]
+
+    def test_doubled_quote_escape(self):
+        assert _texts('"a""b"') == [(TokenType.IDENTIFIER, 'a"b')]
+
+    def test_unterminated_identifier(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+
+class TestOperatorsAndComments:
+    def test_multichar_operators(self):
+        assert [text for _, text in _texts("<= >= <> != || ==")] == [
+            "<=",
+            ">=",
+            "<>",
+            "!=",
+            "||",
+            "==",
+        ]
+
+    def test_line_comment_skipped(self):
+        assert _texts("SELECT -- hidden\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.INTEGER, "1"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert _texts("SELECT /* x\ny */ 1")[-1] == (
+            TokenType.INTEGER,
+            "1",
+        )
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* forever")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert excinfo.value.position == 7

@@ -1,0 +1,80 @@
+"""Unit tests for repro.db.schema."""
+
+import pytest
+
+from repro.db import Column, DataType, ForeignKey, TableSchema
+from repro.errors import SchemaError
+
+
+def _schema(**kwargs) -> TableSchema:
+    return TableSchema(
+        "t",
+        [
+            Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+            Column("name", DataType.TEXT),
+            Column("Academic Year", DataType.TEXT),
+        ],
+        **kwargs,
+    )
+
+
+class TestColumn:
+    def test_rejects_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("1bad", DataType.TEXT)
+
+    def test_allows_interior_spaces(self):
+        assert Column("Academic Year", DataType.TEXT).name == "Academic Year"
+
+
+class TestTableSchema:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_rejects_duplicate_columns_case_insensitive(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.TEXT), Column("A", DataType.TEXT)],
+            )
+
+    def test_column_lookup_is_case_insensitive(self):
+        schema = _schema()
+        assert schema.column_index("NAME") == 1
+        assert schema.column("name").dtype is DataType.TEXT
+        assert schema.has_column("academic year")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            _schema().column_index("missing")
+
+    def test_primary_key_columns(self):
+        schema = _schema()
+        assert [c.name for c in schema.primary_key_columns] == ["id"]
+
+    def test_foreign_key_must_reference_own_column(self):
+        with pytest.raises(SchemaError):
+            _schema(foreign_keys=[ForeignKey("nope", "parent", "id")])
+
+    def test_to_create_sql_quotes_spaced_names(self):
+        sql = _schema().to_create_sql()
+        assert '"Academic Year" TEXT' in sql
+        assert "id INTEGER PRIMARY KEY NOT NULL" in sql
+
+    def test_to_create_sql_renders_foreign_keys(self):
+        schema = _schema(foreign_keys=[ForeignKey("name", "parent", "id")])
+        assert "FOREIGN KEY (name) REFERENCES parent(id)" in (
+            schema.to_create_sql()
+        )
+
+    def test_create_sql_round_trips_through_parser(self):
+        from repro.db.sql.parser import parse_statement
+
+        statement = parse_statement(_schema().to_create_sql())
+        assert statement.name == "t"
+        assert [c.name for c in statement.columns] == [
+            "id",
+            "name",
+            "Academic Year",
+        ]

@@ -1,0 +1,141 @@
+"""Property-based tests for the SQL engine (hypothesis).
+
+Invariants: optimizer equivalence on generated queries, LIMIT/OFFSET
+slicing semantics, DISTINCT idempotence, COUNT consistency with WHERE
+partitioning.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Database, DataType, TableSchema
+
+COLUMNS = ["a", "b", "c"]
+
+
+@st.composite
+def small_tables(draw):
+    row_count = draw(st.integers(min_value=0, max_value=25))
+    rows = [
+        (
+            draw(
+                st.one_of(st.none(), st.integers(-5, 5))
+            ),
+            draw(st.one_of(st.none(), st.integers(-5, 5))),
+            draw(st.sampled_from(["x", "y", "z", None])),
+        )
+        for _ in range(row_count)
+    ]
+    return rows
+
+
+def _database(rows) -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("a", DataType.INTEGER),
+                Column("b", DataType.INTEGER),
+                Column("c", DataType.TEXT),
+            ],
+        )
+    )
+    db.insert("t", rows)
+    return db
+
+
+@st.composite
+def where_clauses(draw):
+    column = draw(st.sampled_from(["a", "b"]))
+    operator = draw(st.sampled_from(["<", "<=", "=", ">", ">=", "<>"]))
+    value = draw(st.integers(-5, 5))
+    clause = f"{column} {operator} {value}"
+    if draw(st.booleans()):
+        other = draw(st.sampled_from(["a", "b"]))
+        connective = draw(st.sampled_from(["AND", "OR"]))
+        clause += f" {connective} {other} IS NOT NULL"
+    return clause
+
+
+class TestOptimizerEquivalence:
+    @given(small_tables(), where_clauses())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_queries(self, rows, where):
+        db = _database(rows)
+        sql = f"SELECT a, b, c FROM t WHERE {where} ORDER BY 1, 2, 3"
+        assert db.execute(sql, optimize=True).rows == (
+            db.execute(sql, optimize=False).rows
+        )
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_self_join_queries(self, rows):
+        db = _database(rows)
+        sql = (
+            "SELECT x.a, y.b FROM t x JOIN t y ON x.a = y.a "
+            "WHERE y.b > 0 ORDER BY 1, 2"
+        )
+        assert db.execute(sql, optimize=True).rows == (
+            db.execute(sql, optimize=False).rows
+        )
+
+
+class TestRelationalInvariants:
+    @given(small_tables(), where_clauses())
+    @settings(max_examples=60, deadline=None)
+    def test_count_partition(self, rows, where):
+        """COUNT(rows matching P) + COUNT(NOT P or NULL) == COUNT(*)."""
+        db = _database(rows)
+        total = db.execute("SELECT COUNT(*) FROM t").scalar()
+        matching = db.execute(
+            f"SELECT COUNT(*) FROM t WHERE {where}"
+        ).scalar()
+        complement = db.execute(
+            f"SELECT COUNT(*) FROM t WHERE NOT ({where}) "
+            f"OR ({where}) IS NULL"
+        ).scalar()
+        assert matching + complement == total
+
+    @given(
+        small_tables(),
+        st.integers(0, 30),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_limit_offset_slices(self, rows, limit, offset):
+        db = _database(rows)
+        everything = db.execute("SELECT a, b, c FROM t ORDER BY 1, 2, 3").rows
+        sliced = db.execute(
+            "SELECT a, b, c FROM t ORDER BY 1, 2, 3 "
+            f"LIMIT {limit} OFFSET {offset}"
+        ).rows
+        assert sliced == everything[offset : offset + limit]
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_idempotent_and_bounded(self, rows):
+        db = _database(rows)
+        distinct = db.execute("SELECT DISTINCT a FROM t").rows
+        assert len(distinct) == len(set(distinct))
+        assert len(distinct) <= len(rows) or not rows
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_python(self, rows):
+        db = _database(rows)
+        expected = sum(r[0] for r in rows if r[0] is not None)
+        got = db.execute("SELECT TOTAL(a) FROM t").scalar()
+        assert got == pytest.approx(expected)
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_group_counts_sum_to_total(self, rows):
+        db = _database(rows)
+        groups = db.execute(
+            "SELECT c, COUNT(*) FROM t GROUP BY c"
+        ).rows
+        assert sum(count for _, count in groups) == len(rows)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.db.table storage, constraints, and indexes."""
+
+import pytest
+
+from repro.db import Column, DataType, TableSchema
+from repro.db.table import Table
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        TableSchema(
+            "people",
+            [
+                Column(
+                    "id", DataType.INTEGER, nullable=False, primary_key=True
+                ),
+                Column("name", DataType.TEXT, nullable=False),
+                Column("age", DataType.INTEGER),
+            ],
+        )
+    )
+
+
+class TestInsert:
+    def test_positional_insert_coerces(self, table):
+        table.insert([1, "Ada", "36"])
+        assert table.rows == [(1, "Ada", 36)]
+
+    def test_mapping_insert_fills_missing_with_null(self, table):
+        table.insert({"id": 1, "name": "Ada"})
+        assert table.rows == [(1, "Ada", None)]
+
+    def test_mapping_insert_rejects_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "name": "Ada", "salary": 10})
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert([1, "Ada"])
+
+    def test_not_null_enforced(self, table):
+        with pytest.raises(SchemaError):
+            table.insert([1, None, 30])
+
+    def test_primary_key_uniqueness(self, table):
+        table.insert([1, "Ada", 36])
+        with pytest.raises(SchemaError):
+            table.insert([1, "Bob", 40])
+
+    def test_insert_many_counts(self, table):
+        count = table.insert_many([[1, "Ada", 36], [2, "Bob", 40]])
+        assert count == 2
+        assert len(table) == 2
+
+
+class TestReads:
+    def test_column_values(self, table):
+        table.insert_many([[1, "Ada", 36], [2, "Bob", None]])
+        assert table.column_values("age") == [36, None]
+
+    def test_to_dicts(self, table):
+        table.insert([1, "Ada", 36])
+        assert table.to_dicts() == [{"id": 1, "name": "Ada", "age": 36}]
+
+
+class TestIndexes:
+    def test_lookup_without_index_scans(self, table):
+        table.insert_many([[1, "Ada", 36], [2, "Bob", 36], [3, "Cy", 20]])
+        assert len(table.lookup("age", 36)) == 2
+
+    def test_lookup_with_index(self, table):
+        table.insert_many([[1, "Ada", 36], [2, "Bob", 36]])
+        table.create_index("age")
+        assert table.has_index("age")
+        assert len(table.lookup("age", 36)) == 2
+        assert table.lookup("age", 99) == []
+
+    def test_index_maintained_on_later_inserts(self, table):
+        table.create_index("age")
+        table.insert([1, "Ada", 36])
+        table.insert([2, "Bob", 36])
+        assert len(table.lookup("age", 36)) == 2
+
+    def test_lookup_coerces_value(self, table):
+        table.insert([1, "Ada", 36])
+        table.create_index("age")
+        assert len(table.lookup("age", "36")) == 1

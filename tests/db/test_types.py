@@ -1,0 +1,143 @@
+"""Unit tests for repro.db.types: coercion and SQL comparison semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.types import (
+    DataType,
+    coerce,
+    compare,
+    infer_type,
+    sort_key,
+    values_equal,
+)
+from repro.errors import SchemaError
+
+
+class TestDataTypeFromSql:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("INTEGER", DataType.INTEGER),
+            ("int", DataType.INTEGER),
+            ("BIGINT", DataType.INTEGER),
+            ("REAL", DataType.REAL),
+            ("double", DataType.REAL),
+            ("NUMERIC", DataType.REAL),
+            ("TEXT", DataType.TEXT),
+            ("VARCHAR(80)", DataType.TEXT),
+            ("DATE", DataType.TEXT),
+            ("BOOLEAN", DataType.BOOLEAN),
+        ],
+    )
+    def test_known_names(self, name, expected):
+        assert DataType.from_sql(name) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SchemaError):
+            DataType.from_sql("BLOBBY")
+
+
+class TestCoerce:
+    def test_none_passes_through_every_type(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_integer_from_string(self):
+        assert coerce(" 42 ", DataType.INTEGER) == 42
+
+    def test_integer_from_integral_float(self):
+        assert coerce(2.0, DataType.INTEGER) == 2
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            coerce(2.5, DataType.INTEGER)
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            coerce("forty", DataType.INTEGER)
+
+    def test_real_from_int_and_string(self):
+        assert coerce(3, DataType.REAL) == 3.0
+        assert coerce("3.5", DataType.REAL) == 3.5
+
+    def test_text_from_number(self):
+        assert coerce(7, DataType.TEXT) == "7"
+
+    def test_text_from_bool(self):
+        assert coerce(True, DataType.TEXT) == "true"
+
+    def test_boolean_from_strings(self):
+        assert coerce("yes", DataType.BOOLEAN) is True
+        assert coerce("0", DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            coerce("maybe", DataType.BOOLEAN)
+
+    def test_any_accepts_anything(self):
+        assert coerce("x", DataType.ANY) == "x"
+
+
+class TestInferType:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (True, DataType.BOOLEAN),
+            (1, DataType.INTEGER),
+            (1.5, DataType.REAL),
+            ("a", DataType.TEXT),
+            (None, DataType.ANY),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+
+class TestComparison:
+    def test_nulls_sort_first(self):
+        values = ["b", None, 1, "a", 2.5]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+        assert ordered[1:3] == [1, 2.5]
+        assert ordered[3:] == ["a", "b"]
+
+    def test_numeric_cross_type_comparison(self):
+        assert compare(1, 1.0) == 0
+        assert compare(1, 2.0) == -1
+        assert compare(3.5, 2) == 1
+
+    def test_null_propagation(self):
+        assert compare(None, 1) is None
+        assert compare(1, None) is None
+        assert values_equal(None, None) is None
+
+    def test_text_vs_number_ordering(self):
+        # Numbers sort before text, mirroring SQLite's type ordering.
+        assert compare(999999, "a") == -1
+
+    def test_values_equal(self):
+        assert values_equal("x", "x") is True
+        assert values_equal("x", "y") is False
+
+    @given(
+        st.one_of(st.none(), st.integers(), st.floats(allow_nan=False), st.text()),
+        st.one_of(st.none(), st.integers(), st.floats(allow_nan=False), st.text()),
+    )
+    def test_compare_is_antisymmetric(self, left, right):
+        forward = compare(left, right)
+        backward = compare(right, left)
+        if forward is None:
+            assert backward is None
+        else:
+            assert backward == -forward
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(), st.text()), max_size=30
+        )
+    )
+    def test_sort_key_total_order(self, values):
+        ordered = sorted(values, key=sort_key)
+        assert sorted(ordered, key=sort_key) == ordered

@@ -1,0 +1,104 @@
+"""Unit tests for UPDATE and DELETE statements."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import SchemaError, SQLSyntaxError
+
+
+class TestUpdate:
+    def test_update_with_where(self, movies_db):
+        outcome = movies_db.execute(
+            "UPDATE movies SET genre = 'Classic' WHERE year < 1950"
+        )
+        assert outcome.rows == [(1,)]
+        assert movies_db.execute(
+            "SELECT genre FROM movies WHERE title = 'Casablanca'"
+        ).scalar() == "Classic"
+
+    def test_update_expression_uses_old_row(self, movies_db):
+        movies_db.execute(
+            "UPDATE movies SET revenue = revenue * 2 WHERE id = 4"
+        )
+        assert movies_db.execute(
+            "SELECT revenue FROM movies WHERE id = 4"
+        ).scalar() == pytest.approx(20.4)
+
+    def test_update_all_rows(self, movies_db):
+        outcome = movies_db.execute("UPDATE movies SET year = year + 1")
+        assert outcome.rows == [(6,)]
+
+    def test_multi_assignment(self, movies_db):
+        movies_db.execute(
+            "UPDATE movies SET genre = 'X', year = 2000 WHERE id = 1"
+        )
+        result = movies_db.execute(
+            "SELECT genre, year FROM movies WHERE id = 1"
+        )
+        assert result.rows == [("X", 2000)]
+
+    def test_update_coerces_types(self, movies_db):
+        movies_db.execute("UPDATE movies SET year = '1955' WHERE id = 1")
+        assert movies_db.execute(
+            "SELECT year FROM movies WHERE id = 1"
+        ).scalar() == 1955
+
+    def test_update_violating_pk_rejected(self, movies_db):
+        with pytest.raises(SchemaError):
+            movies_db.execute("UPDATE movies SET id = 1 WHERE id = 2")
+
+    def test_update_preserves_indexes(self, movies_db):
+        movies_db.create_index("movies", "genre")
+        movies_db.execute(
+            "UPDATE movies SET genre = 'Epic' WHERE title = 'Titanic'"
+        )
+        assert movies_db.table("movies").lookup("genre", "Epic")
+
+    def test_update_null_semantics_in_where(self, movies_db):
+        # NULL revenue rows never satisfy revenue > 0.
+        outcome = movies_db.execute(
+            "UPDATE movies SET genre = 'Seen' WHERE revenue > 0"
+        )
+        assert outcome.rows == [(5,)]
+
+
+class TestDelete:
+    def test_delete_with_where(self, movies_db):
+        outcome = movies_db.execute(
+            "DELETE FROM movies WHERE genre = 'SciFi'"
+        )
+        assert outcome.rows == [(2,)]
+        assert movies_db.execute(
+            "SELECT COUNT(*) FROM movies"
+        ).scalar() == 4
+
+    def test_delete_without_where_clears_table(self, movies_db):
+        outcome = movies_db.execute("DELETE FROM movies")
+        assert outcome.rows == [(6,)]
+        assert movies_db.execute(
+            "SELECT COUNT(*) FROM movies"
+        ).scalar() == 0
+
+    def test_delete_reindexes(self, movies_db):
+        movies_db.create_index("movies", "genre")
+        movies_db.execute("DELETE FROM movies WHERE genre = 'Romance'")
+        assert movies_db.table("movies").lookup("genre", "Romance") == []
+
+    def test_pk_reusable_after_delete(self, movies_db):
+        movies_db.execute("DELETE FROM movies WHERE id = 1")
+        movies_db.execute(
+            "INSERT INTO movies VALUES (1, 'New', 'Drama', 1.0, 2024)"
+        )
+        assert movies_db.execute(
+            "SELECT title FROM movies WHERE id = 1"
+        ).scalar() == "New"
+
+
+class TestSyntax:
+    def test_update_requires_set(self, movies_db):
+        with pytest.raises(SQLSyntaxError):
+            movies_db.execute("UPDATE movies genre = 'X'")
+
+    def test_delete_requires_from(self, movies_db):
+        with pytest.raises(SQLSyntaxError):
+            movies_db.execute("DELETE movies")

@@ -1,0 +1,55 @@
+"""Unit tests for the hashing embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embed import HashingEmbedder, serialize_row
+
+
+@pytest.fixture()
+def embedder() -> HashingEmbedder:
+    return HashingEmbedder(dimensions=128)
+
+
+class TestEmbedder:
+    def test_unit_norm(self, embedder):
+        vector = embedder.embed("hello world of data")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero_vector(self, embedder):
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_deterministic(self, embedder):
+        a = embedder.embed("gradient descent")
+        b = embedder.embed("gradient descent")
+        assert np.array_equal(a, b)
+
+    def test_similar_texts_closer_than_dissimilar(self, embedder):
+        query = embedder.embed("races on Sepang International Circuit")
+        near = embedder.embed("Sepang International Circuit Malaysia")
+        far = embedder.embed("free meal count for elementary schools")
+        assert float(query @ near) > float(query @ far)
+
+    def test_batch_shape(self, embedder):
+        matrix = embedder.embed_batch(["a", "b", "c"])
+        assert matrix.shape == (3, 128)
+
+    def test_empty_batch(self, embedder):
+        assert embedder.embed_batch([]).shape == (0, 128)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dimensions=4)
+
+    def test_trigrams_optional(self):
+        plain = HashingEmbedder(dimensions=64, use_trigrams=False)
+        vector = plain.embed("abc")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+class TestSerializeRow:
+    def test_paper_format(self):
+        record = {"School": "A High", "AvgScrMath": 600}
+        assert serialize_row(record) == (
+            "- School: A High\n- AvgScrMath: 600"
+        )

@@ -1,0 +1,107 @@
+"""Property-based tests for the DataFrame substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame, merge
+
+values = st.one_of(st.none(), st.integers(-10, 10))
+
+
+@st.composite
+def frames(draw):
+    length = draw(st.integers(0, 20))
+    return DataFrame(
+        {
+            "k": [draw(values) for _ in range(length)],
+            "v": [draw(values) for _ in range(length)],
+        }
+    )
+
+
+class TestFilterProperties:
+    @given(frames(), st.integers(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_mask_partition(self, frame, threshold):
+        above = frame[frame["v"] > threshold]
+        not_above = frame[~(frame["v"] > threshold)]
+        assert len(above) + len(not_above) == len(frame)
+
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_filter_subset_of_rows(self, frame):
+        kept = frame[frame["v"] > 0]
+        original_rows = frame.to_records()
+        for record in kept.to_records():
+            assert record in original_rows
+
+
+class TestSortProperties:
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_sort_is_permutation(self, frame):
+        ordered = frame.sort_values("v")
+        assert sorted(
+            map(repr, ordered["v"].tolist())
+        ) == sorted(map(repr, frame["v"].tolist()))
+
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_sort_monotone_on_non_null(self, frame):
+        ordered = [
+            value
+            for value in frame.sort_values("v")["v"].tolist()
+            if value is not None
+        ]
+        assert ordered == sorted(ordered)
+
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_double_reverse_identity(self, frame):
+        twice = frame.sort_values("v").sort_values(
+            "v", ascending=False
+        ).sort_values("v")
+        assert twice["v"].tolist() == frame.sort_values("v")["v"].tolist()
+
+
+class TestMergeProperties:
+    @given(frames(), frames())
+    @settings(max_examples=50, deadline=None)
+    def test_inner_merge_size_matches_key_products(self, a, b):
+        joined = merge(
+            a.rename(columns={"v": "va"}),
+            b.rename(columns={"k": "j", "v": "vb"}),
+            left_on="k",
+            right_on="j",
+        )
+        expected = 0
+        right_keys = [key for key in b["k"].tolist() if key is not None]
+        for key in a["k"].tolist():
+            if key is None:
+                continue
+            expected += sum(1 for other in right_keys if other == key)
+        assert len(joined) == expected
+
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_left_merge_at_least_left_size(self, frame):
+        other = DataFrame({"j": [0, 1], "w": ["a", "b"]})
+        joined = merge(frame, other, left_on="k", right_on="j", how="left")
+        assert len(joined) >= len(frame)
+
+
+class TestGroupByProperties:
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_group_sizes_sum_to_total(self, frame):
+        if not frame.columns:
+            return
+        sizes = frame.groupby("k").size()
+        assert sum(sizes["size"].tolist()) == len(frame)
+
+    @given(frames())
+    @settings(max_examples=50, deadline=None)
+    def test_group_sums_match_total(self, frame):
+        out = frame.groupby("k").agg(total=("v", "sum"))
+        whole = sum(v for v in frame["v"].tolist() if v is not None)
+        assert sum(out["total"].tolist()) == whole

@@ -1,0 +1,188 @@
+"""Unit tests for NL condition interpretation (repro.lm.concepts)."""
+
+import pytest
+
+from repro.knowledge import FuzzyKnowledge
+from repro.lm import concepts
+
+
+@pytest.fixture()
+def fuzzy(kb) -> FuzzyKnowledge:
+    return FuzzyKnowledge(kb, seed=0, skepticism=0.0)  # oracle view
+
+
+def judge(condition, fuzzy, seed=0):
+    return concepts.judge(condition, fuzzy, seed)
+
+
+class TestKnowledgeConditions:
+    def test_region_membership(self, fuzzy):
+        assert judge(
+            "Palo Alto is a city in the Silicon Valley region", fuzzy
+        )
+        assert not judge(
+            "Fresno is a city in the Silicon Valley region", fuzzy
+        )
+
+    def test_region_part_of_phrasing(self, fuzzy):
+        assert judge("Oakland is part of the Bay Area", fuzzy)
+
+    def test_height_comparisons(self, fuzzy):
+        assert judge("190 is taller than Stephen Curry", fuzzy)
+        assert not judge("185 is taller than Stephen Curry", fuzzy)
+        assert judge(
+            "a player with height 165.5 is shorter than Lionel Messi",
+            fuzzy,
+        )
+
+    def test_unknown_person_height(self, fuzzy):
+        assert not judge("190 is taller than Nobody Real", fuzzy)
+
+    def test_euro_and_eu(self, fuzzy):
+        assert judge("Slovakia uses the euro", fuzzy)
+        assert not judge("Czech Republic uses the euro", fuzzy)
+        assert judge(
+            "Poland is a member of the European Union", fuzzy
+        )
+
+    def test_big_five(self, fuzzy):
+        assert judge(
+            "England Premier League is one of Europe's 'big five' "
+            "football leagues",
+            fuzzy,
+        )
+        assert not judge(
+            "Poland Ekstraklasa is one of the big five leagues", fuzzy
+        )
+
+    def test_uk(self, fuzzy):
+        assert judge("Scotland is part of the United Kingdom", fuzzy)
+        assert not judge("Spain is part of the United Kingdom", fuzzy)
+
+    def test_street_circuit(self, fuzzy):
+        assert judge("Circuit de Monaco is a street circuit", fuzzy)
+        assert not judge(
+            "Silverstone Circuit is a street circuit", fuzzy
+        )
+
+    def test_circuit_region(self, fuzzy):
+        assert judge(
+            "Sepang International Circuit is located in southeast asia",
+            fuzzy,
+        )
+        assert not judge(
+            "Circuit de Monaco is located in southeast asia", fuzzy
+        )
+
+    def test_currency(self, fuzzy):
+        assert judge("EUR is the currency of Germany", fuzzy)
+        assert not judge("CZK is the currency of Germany", fuzzy)
+
+    def test_classic_movie(self, fuzzy):
+        assert judge("Casablanca is considered a 'classic'", fuzzy)
+        assert not judge(
+            "Avengers: Endgame is considered a classic", fuzzy
+        )
+
+
+class TestTextConditions:
+    def test_sentiment(self, fuzzy):
+        assert judge(
+            "The comment 'Excellent answer, wonderful and helpful.' "
+            "is positive",
+            fuzzy,
+        )
+        assert judge(
+            "The comment 'A terrible, confusing mess.' is negative",
+            fuzzy,
+        )
+
+    def test_sarcasm(self, fuzzy):
+        assert judge(
+            "The comment 'Oh great, another broken proof.' is sarcastic",
+            fuzzy,
+        )
+        assert not judge(
+            "The comment 'See also the 2009 survey.' is sarcastic",
+            fuzzy,
+        )
+
+    def test_technicality(self, fuzzy):
+        assert judge(
+            "The title 'Eigenvalue shrinkage in covariance estimation' "
+            "is technical",
+            fuzzy,
+        )
+        assert not judge(
+            "The title 'What is your favorite statistics joke?' "
+            "is technical",
+            fuzzy,
+        )
+
+    def test_boundary_judgments_are_seeded_and_stable(self, fuzzy):
+        condition = (
+            "The comment 'sweet but slow; fine I suppose' is positive"
+        )
+        first = judge(condition, fuzzy, seed=7)
+        again = judge(condition, fuzzy, seed=7)
+        assert first == again
+
+
+class TestGradedJudgments:
+    def test_score_recognises_criteria(self):
+        technical = concepts.score(
+            "most technical",
+            "Eigenvalue shrinkage in covariance estimation",
+            seed=0,
+        )
+        joke = concepts.score(
+            "most technical", "What is your favorite joke?", seed=0
+        )
+        assert technical > joke
+
+    def test_score_deterministic(self):
+        a = concepts.score("most sarcastic", "Oh great.", seed=1)
+        b = concepts.score("most sarcastic", "Oh great.", seed=1)
+        assert a == b
+
+    def test_compare_consistent_on_large_gaps(self):
+        left = "Eigenvalue shrinkage in high-dimensional covariance"
+        right = "Weekend reading suggestions, nothing too heavy"
+        assert concepts.compare("most technical", left, right, seed=0)
+        assert not concepts.compare("most technical", right, left, seed=0)
+
+    def test_compare_antisymmetric_everywhere(self):
+        # Even coin-flip ties must be antisymmetric: exactly one of
+        # (A beats B), (B beats A) holds.
+        items = [
+            "How do I get started with data analysis?",
+            "Is statistics a good career path?",
+        ]
+        forward = concepts.compare("most technical", items[0], items[1], 0)
+        backward = concepts.compare("most technical", items[1], items[0], 0)
+        assert forward != backward
+
+    def test_relevance_favours_overlap(self):
+        query = "races held on Sepang International Circuit"
+        near = concepts.relevance(
+            query, "name: Sepang International Circuit", seed=0
+        )
+        far = concepts.relevance(query, "name: Hungaroring", seed=0)
+        assert near > far
+
+    def test_relevance_bounded(self):
+        value = concepts.relevance("a", "b", seed=0)
+        assert 0.0 <= value <= 1.0
+
+
+class TestNoisyThreshold:
+    def test_outside_band_deterministic(self):
+        assert concepts.noisy_threshold(0.9, 0.5, 0.1, 0, "k")
+        assert not concepts.noisy_threshold(0.1, 0.5, 0.1, 0, "k")
+
+    def test_inside_band_varies_with_seed(self):
+        outcomes = {
+            concepts.noisy_threshold(0.5, 0.5, 0.1, seed, "k")
+            for seed in range(30)
+        }
+        assert outcomes == {True, False}

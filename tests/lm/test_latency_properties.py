@@ -1,0 +1,63 @@
+"""Property-based tests for the latency model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lm import LatencyModel
+
+requests = st.lists(
+    st.tuples(st.integers(1, 5000), st.integers(0, 500)),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestLatencyProperties:
+    @given(st.integers(1, 10_000), st.integers(0, 1_000))
+    @settings(max_examples=60, deadline=None)
+    def test_call_cost_positive_and_monotone(self, prompt, output):
+        model = LatencyModel()
+        base = model.call_seconds(prompt, output)
+        assert base > 0
+        assert model.call_seconds(prompt + 100, output) > base
+        assert model.call_seconds(prompt, output + 10) > base
+
+    @given(requests)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_never_slower_than_sequential(self, batch):
+        model = LatencyModel()
+        batched = model.batch_seconds(batch)
+        sequential = sum(
+            model.call_seconds(prompt, output)
+            for prompt, output in batch
+        )
+        assert batched <= sequential + 1e-9
+
+    @given(requests)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_at_least_overhead(self, batch):
+        model = LatencyModel()
+        assert model.batch_seconds(batch) >= model.overhead_s
+
+    @given(requests, requests)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_monotone_at_fixed_parallelism(self, smaller, extra):
+        # Once the batch is at the parallelism cap, adding work can
+        # only increase the batch's latency (total work grows while
+        # the divisor stays fixed).
+        model = LatencyModel(max_parallel=4)
+        padded = smaller + [(100, 10)] * 4  # ensure cap reached
+        combined = padded + extra
+        assert model.batch_seconds(combined) >= (
+            model.batch_seconds(padded) - 1e-9
+        )
+
+    def test_parallelism_saturates(self):
+        model = LatencyModel(max_parallel=8)
+        per_request = (100, 10)
+        at_cap = model.batch_seconds([per_request] * 8)
+        past_cap = model.batch_seconds([per_request] * 16)
+        assert past_cap == pytest.approx(
+            model.overhead_s + (at_cap - model.overhead_s) * 2
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for the schema-vocabulary phrase bank."""
+
+from repro.lm import schema_semantics
+
+
+TABLES = {
+    "schools": ["CDSCode", "School", "City", "GSoffered", "Longitude"],
+    "satscores": ["cds", "AvgScrMath", "NumTstTakr"],
+}
+
+
+class TestFindMentions:
+    def test_resolves_phrases_to_columns(self):
+        mentions = schema_semantics.find_mentions(
+            "What is the grade span offered in the school with the "
+            "highest longitude?",
+            TABLES,
+        )
+        columns = {(m.table, m.column) for m in mentions}
+        assert ("schools", "GSoffered") in columns
+        assert ("schools", "Longitude") in columns
+        assert ("schools", "School") in columns
+
+    def test_longest_phrase_wins(self):
+        mentions = schema_semantics.find_mentions(
+            "average score in math", TABLES
+        )
+        assert [m.column for m in mentions] == ["AvgScrMath"]
+
+    def test_unavailable_table_ignored(self):
+        mentions = schema_semantics.find_mentions(
+            "the post title", {"schools": ["City"]}
+        )
+        assert all(m.column != "Title" for m in mentions)
+
+    def test_sorted_by_position(self):
+        mentions = schema_semantics.find_mentions(
+            "longitude then city then school", TABLES
+        )
+        positions = [m.position for m in mentions]
+        assert positions == sorted(positions)
+
+    def test_word_boundaries_respected(self):
+        # 'scity' must not match the 'city' phrase.
+        mentions = schema_semantics.find_mentions("viscosity", TABLES)
+        assert not mentions
+
+    def test_case_insensitive(self):
+        mentions = schema_semantics.find_mentions("LONGITUDE", TABLES)
+        assert mentions[0].column == "Longitude"
+
+
+class TestMatchRecordKey:
+    def test_hint_bank_match(self):
+        key = schema_semantics.match_record_key(
+            "grade span offered", ["GSoffered", "City"]
+        )
+        assert key == "GSoffered"
+
+    def test_containment_fallback(self):
+        key = schema_semantics.match_record_key(
+            "the consumption value", ["Consumption"]
+        )
+        assert key == "Consumption"
+
+    def test_no_match(self):
+        assert schema_semantics.match_record_key(
+            "zzz", ["Alpha", "Beta"]
+        ) is None

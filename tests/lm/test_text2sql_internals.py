@@ -1,0 +1,82 @@
+"""Unit tests for Text2SQL semantic-parser internals."""
+
+from repro.lm.handlers.text2sql import (
+    _join_path,
+    _parse_question,
+    _parse_schema,
+)
+from repro.lm.prompts import text2sql_prompt
+
+
+class TestPromptParsing:
+    def test_parse_schema_extracts_tables_and_fks(self):
+        prompt = text2sql_prompt(
+            "CREATE TABLE a\n(\n    id INTEGER PRIMARY KEY,\n"
+            "    x TEXT\n)\n\n"
+            "CREATE TABLE b\n(\n    aid INTEGER,\n"
+            "    FOREIGN KEY (aid) REFERENCES a(id)\n)",
+            "q",
+        )
+        tables, edges = _parse_schema(prompt)
+        assert tables == {"a": ["id", "x"], "b": ["aid"]}
+        assert edges == [("b", "aid", "a", "id")]
+
+    def test_parse_question_takes_last_comment(self):
+        prompt = text2sql_prompt("CREATE TABLE t\n(\n    a TEXT\n)", "The real question?")
+        assert _parse_question(prompt) == "The real question?"
+
+    def test_parse_question_ignores_protocol_comments(self):
+        prompt = text2sql_prompt(
+            "CREATE TABLE t\n(\n    a TEXT\n)",
+            "q",
+            external_knowledge="A hint.",
+        )
+        question = _parse_question(prompt)
+        assert question == "q"
+
+    def test_malformed_schema_block_skipped(self):
+        tables, _ = _parse_schema(
+            "CREATE TABLE broken (((\n)\n\nCREATE TABLE ok\n"
+            "(\n    a TEXT\n)"
+        )
+        assert "ok" in tables
+        assert "broken" not in tables
+
+
+class TestJoinPath:
+    EDGES = [
+        ("satscores", "cds", "schools", "CDSCode"),
+        ("frpm", "CDSCode", "schools", "CDSCode"),
+        ("comments", "PostId", "posts", "Id"),
+        ("comments", "UserId", "users", "Id"),
+    ]
+
+    def test_single_table(self):
+        order, clauses = _join_path({"schools"}, self.EDGES)
+        assert order == ["schools"]
+        assert clauses == []
+
+    def test_direct_fk_join(self):
+        order, clauses = _join_path(
+            {"schools", "satscores"}, self.EDGES
+        )
+        assert set(order) == {"schools", "satscores"}
+        assert len(clauses) == 1
+        assert "CDSCode" in clauses[0][1]
+
+    def test_bridge_table_used(self):
+        # posts and users connect only through comments.
+        order, clauses = _join_path({"posts", "users"}, self.EDGES)
+        assert "comments" in order
+        assert len(clauses) == 2
+
+    def test_unreachable_table_joined_permissively(self):
+        order, clauses = _join_path({"schools", "posts"}, self.EDGES)
+        assert set(order) >= {"schools", "posts"}
+        assert any(condition == "1 = 1" for _, condition in clauses)
+
+    def test_three_way_join(self):
+        order, clauses = _join_path(
+            {"schools", "satscores", "frpm"}, self.EDGES
+        )
+        assert len(clauses) == 2

@@ -1,0 +1,141 @@
+"""Failure injection: methods must degrade gracefully, never crash.
+
+The benchmark counts failures as incorrect answers (invalid SQL,
+context overflows, garbage generations); these tests inject each
+failure class via a hostile router/handler and assert the methods
+surface them as scored results.
+"""
+
+import pytest
+
+from repro.bench.runner import run_benchmark
+from repro.errors import ContextLengthError, LMError
+from repro.lm import LMConfig, SimulatedLM
+from repro.lm.prompts import TEXT2SQL_INSTRUCTION
+from repro.lm.router import Router
+from repro.methods import (
+    HandwrittenTAGMethod,
+    RAGMethod,
+    Text2SQLLMMethod,
+    Text2SQLMethod,
+)
+
+
+class _BrokenSQLHandler:
+    """Emits syntactically invalid SQL from every synthesis prompt."""
+
+    def matches(self, prompt: str) -> bool:
+        return TEXT2SQL_INSTRUCTION in prompt
+
+    def handle(self, prompt: str, context) -> str:
+        return "SELEC oops FRM nowhere"
+
+
+class _HallucinatedColumnHandler:
+    """Valid SQL over a column that does not exist."""
+
+    def matches(self, prompt: str) -> bool:
+        return TEXT2SQL_INSTRUCTION in prompt
+
+    def handle(self, prompt: str, context) -> str:
+        return "SELECT imaginary_column FROM circuits"
+
+
+class _GarbageHandler:
+    """Answers every prompt with unparseable text."""
+
+    def matches(self, prompt: str) -> bool:
+        return True
+
+    def handle(self, prompt: str, context) -> str:
+        return "I cannot answer that, sorry!"
+
+
+class _ExplodingHandler:
+    def matches(self, prompt: str) -> bool:
+        return True
+
+    def handle(self, prompt: str, context) -> str:
+        raise LMError("inference backend fell over")
+
+
+def _lm_with(handler) -> SimulatedLM:
+    return SimulatedLM(LMConfig(seed=0), router=Router([handler]))
+
+
+def _spec(suite, qid):
+    return next(s for s in suite if s.qid == qid)
+
+
+class TestText2SQLFailures:
+    def test_invalid_sql_counted_wrong_not_crashed(self, suite, datasets):
+        method = Text2SQLMethod(_lm_with(_BrokenSQLHandler()))
+        spec = _spec(suite, "comparison-k02")
+        result = method.answer(spec, datasets[spec.domain])
+        assert not result.ok
+        assert "SQLSyntaxError" in result.error
+
+    def test_hallucinated_column_counted_wrong(self, suite, datasets):
+        method = Text2SQLMethod(_lm_with(_HallucinatedColumnHandler()))
+        spec = _spec(suite, "match-k04")
+        result = method.answer(spec, datasets[spec.domain])
+        assert not result.ok
+        assert "PlanningError" in result.error
+
+    def test_benchmark_scores_failures_as_incorrect(
+        self, suite, datasets
+    ):
+        method = Text2SQLMethod(_lm_with(_BrokenSQLHandler()))
+        queries = [s for s in suite if s.query_type == "comparison"][:3]
+        report = run_benchmark(
+            seed=0, methods=[method], queries=queries, datasets=datasets
+        )
+        assert report.accuracy("Text2SQL") == 0.0
+        assert all(record.error for record in report.records)
+
+
+class TestGenerationFailures:
+    def test_garbage_answers_score_zero(self, suite, datasets):
+        method = RAGMethod(_lm_with(_GarbageHandler()))
+        queries = [s for s in suite if s.query_type == "match"][:3]
+        report = run_benchmark(
+            seed=0, methods=[method], queries=queries, datasets=datasets
+        )
+        # Unparseable text is a *wrong answer*, not an error.
+        assert all(record.error is None for record in report.records)
+        assert report.accuracy("RAG") == 0.0
+
+    def test_backend_explosion_is_captured(self, suite, datasets):
+        method = HandwrittenTAGMethod(_lm_with(_ExplodingHandler()))
+        spec = _spec(suite, "comparison-k02")
+        result = method.answer(spec, datasets[spec.domain])
+        assert not result.ok
+        assert "LMError" in result.error
+
+
+class TestContextWindowFailures:
+    def test_tiny_window_breaks_text2sql_lm_gracefully(
+        self, suite, datasets
+    ):
+        # A 300-token window: even the synthesis prompt overflows.
+        lm = SimulatedLM(LMConfig(seed=0, context_window=300))
+        method = Text2SQLLMMethod(lm)
+        spec = _spec(suite, "match-k01")
+        result = method.answer(spec, datasets[spec.domain])
+        assert not result.ok
+        assert "ContextLengthError" in result.error
+
+    def test_window_between_syn_and_gen(self, suite, datasets):
+        # Large enough to synthesize, too small for the retrieved rows:
+        # the method must fall back to a parametric (row-free) answer.
+        lm = SimulatedLM(LMConfig(seed=0, context_window=2800))
+        method = Text2SQLLMMethod(lm)
+        spec = _spec(suite, "aggregation-k01")
+        result = method.answer(spec, datasets[spec.domain])
+        assert result.ok
+        assert result.diagnostics["context_errors"] >= 1
+
+    def test_context_error_raises_from_complete(self):
+        lm = SimulatedLM(LMConfig(seed=0, context_window=10))
+        with pytest.raises(ContextLengthError):
+            lm.complete("word " * 100)

@@ -1,0 +1,220 @@
+"""Unit tests for the semantic operators (sem_filter/topk/agg/map/join)."""
+
+import pytest
+
+from repro.errors import SemanticOperatorError
+from repro.frame import DataFrame
+from repro.lm import LMConfig, SimulatedLM
+from repro.semantic import SemanticOperators
+from repro.semantic.operators import fill, placeholders
+
+
+@pytest.fixture()
+def ops(oracle_lm) -> SemanticOperators:
+    return SemanticOperators(oracle_lm, batch_size=8)
+
+
+@pytest.fixture()
+def cities() -> DataFrame:
+    return DataFrame(
+        {
+            "City": [
+                "Palo Alto",
+                "Fresno",
+                "Cupertino",
+                "Sacramento",
+                "San Jose",
+            ]
+        }
+    )
+
+
+@pytest.fixture()
+def titles() -> DataFrame:
+    return DataFrame(
+        {
+            "Title": [
+                "What is your favorite statistics joke?",
+                "Eigenvalue shrinkage in high-dimensional covariance "
+                "estimation",
+                "Book recommendations for learning statistics",
+                "Backpropagation through a softmax-cross-entropy layer",
+            ],
+            "Views": [10, 20, 30, 40],
+        }
+    )
+
+
+class TestInstructionTemplates:
+    def test_placeholders(self):
+        assert placeholders("{City} is in {Region}") == ["City", "Region"]
+
+    def test_fill(self):
+        assert fill("{City} is big", {"City": "Oslo"}) == "Oslo is big"
+
+    def test_fill_unknown_placeholder(self):
+        with pytest.raises(SemanticOperatorError):
+            fill("{Nope}", {"City": "Oslo"})
+
+
+class TestSemFilter:
+    def test_filters_by_knowledge(self, ops, cities):
+        kept = ops.sem_filter(
+            cities, "{City} is a city in the Silicon Valley region"
+        )
+        assert sorted(kept["City"].tolist()) == [
+            "Cupertino",
+            "Palo Alto",
+            "San Jose",
+        ]
+
+    def test_empty_frame_passthrough(self, ops):
+        frame = DataFrame({"City": []})
+        assert len(ops.sem_filter(frame, "{City} is big")) == 0
+
+    def test_requires_placeholder(self, ops, cities):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_filter(cities, "no placeholders here")
+
+    def test_unknown_column_rejected(self, ops, cities):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_filter(cities, "{Town} is nice")
+
+    def test_batching_used(self, cities):
+        lm = SimulatedLM(LMConfig(seed=0))
+        ops = SemanticOperators(lm, batch_size=8)
+        ops.sem_filter(cities, "{City} is a city in the Bay Area region")
+        assert lm.usage.calls == 5
+        assert lm.usage.batches == 1
+
+
+class TestSemTopK:
+    def test_orders_by_criterion(self, ops, titles):
+        top = ops.sem_topk(
+            titles, "Which {Title} is most technical?", 2
+        )
+        assert len(top) == 2
+        assert "Eigenvalue" in top["Title"][0] or (
+            "Backpropagation" in top["Title"][0]
+        )
+        assert all(
+            "joke" not in title for title in top["Title"].tolist()
+        )
+
+    def test_k_larger_than_frame(self, ops, titles):
+        everything = ops.sem_topk(
+            titles, "Which {Title} is most technical?", 10
+        )
+        assert len(everything) == 4
+
+    def test_single_row_shortcut(self, ops):
+        one = DataFrame({"Title": ["only one"]})
+        assert len(ops.sem_topk(one, "Which {Title} is best?", 1)) == 1
+
+    def test_invalid_k(self, ops, titles):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_topk(titles, "Which {Title} is best?", 0)
+
+    def test_other_columns_preserved(self, ops, titles):
+        top = ops.sem_topk(
+            titles, "Which {Title} is most technical?", 1
+        )
+        assert top["Views"][0] in (10, 20, 30, 40)
+
+
+class TestSemAgg:
+    def test_structured_summary(self, ops):
+        frame = DataFrame(
+            {
+                "year": list(range(1999, 2018)),
+                "round": [2] * 19,
+            }
+        )
+        answer = ops.sem_agg(frame, "Provide information about races")
+        assert "1999" in answer and "2017" in answer
+
+    def test_column_restriction(self, ops, titles):
+        answer = ops.sem_agg(
+            titles, "Summarize the titles", columns=["Title"]
+        )
+        assert "Views" not in answer
+
+    def test_unknown_column(self, ops, titles):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_agg(titles, "Summarize", columns=["Nope"])
+
+    def test_empty_frame(self, ops):
+        assert ops.sem_agg(DataFrame({"a": []}), "Summarize") == ""
+
+    def test_hierarchical_fold_for_large_frames(self):
+        lm = SimulatedLM(LMConfig(seed=0))
+        ops = SemanticOperators(lm, batch_size=8)
+        frame = DataFrame({"v": [f"value {i}" for i in range(100)]})
+        answer = ops.sem_agg(frame, "Summarize the values")
+        assert answer
+        assert lm.usage.calls > 1  # folded in chunks
+
+
+class TestSemMap:
+    def test_judge_mode(self, ops, cities):
+        mapped = ops.sem_map(
+            cities,
+            "{City} is a city in the Silicon Valley region",
+            "in_sv",
+            mode="judge",
+        )
+        lookup = dict(zip(mapped["City"], mapped["in_sv"]))
+        assert lookup["Palo Alto"] is True
+        assert lookup["Fresno"] is False
+
+    def test_score_mode(self, ops, titles):
+        mapped = ops.sem_map(
+            titles,
+            "The title '{Title}' is technical",
+            "tech",
+            mode="score",
+        )
+        assert all(isinstance(v, float) for v in mapped["tech"].tolist())
+
+    def test_invalid_mode(self, ops, cities):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_map(cities, "{City} x", "out", mode="nope")
+
+    def test_does_not_mutate_input(self, ops, cities):
+        ops.sem_map(cities, "{City} is big", "out")
+        assert "out" not in cities.columns
+
+
+class TestSemJoin:
+    def test_joins_on_judgment(self, ops):
+        players = DataFrame({"height": [170.0, 195.0]})
+        people = DataFrame({"person": ["Stephen Curry"]})
+        joined = ops.sem_join(
+            players,
+            people,
+            "a player with height {height} is taller than {person}",
+        )
+        assert joined["height"].tolist() == [195.0]
+
+    def test_column_collision_rejected(self, ops):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2]})
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_join(a, b, "{x} matches {x}")
+
+    def test_pair_budget_enforced(self, ops):
+        a = DataFrame({"u": list(range(60))})
+        b = DataFrame({"w": list(range(60))})
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_join(a, b, "{u} relates to {w}", max_pairs=100)
+
+    def test_empty_result_keeps_columns(self, ops):
+        players = DataFrame({"height": [150.0]})
+        people = DataFrame({"person": ["Stephen Curry"]})
+        joined = ops.sem_join(
+            players,
+            people,
+            "a player with height {height} is taller than {person}",
+        )
+        assert joined.columns == ["height", "person"]
+        assert joined.empty

@@ -1,0 +1,96 @@
+"""Unit tests for sem_search."""
+
+import pytest
+
+from repro.errors import SemanticOperatorError
+from repro.frame import DataFrame
+from repro.semantic import SemanticOperators
+
+
+@pytest.fixture()
+def ops(lm) -> SemanticOperators:
+    return SemanticOperators(lm, batch_size=8)
+
+
+@pytest.fixture()
+def posts() -> DataFrame:
+    return DataFrame(
+        {
+            "Id": [1, 2, 3, 4],
+            "Title": [
+                "Bootstrap confidence intervals for the median",
+                "Weekend reading suggestions, nothing too heavy",
+                "Cross-validation strategies for time series data",
+                "How do you explain p-values to your boss?",
+            ],
+        }
+    )
+
+
+class TestSemSearch:
+    def test_finds_relevant_rows_first(self, ops, posts):
+        found = ops.sem_search(
+            posts,
+            "bootstrap confidence intervals",
+            text_column="Title",
+            k=2,
+        )
+        assert found["Id"][0] == 1
+
+    def test_k_caps_results(self, ops, posts):
+        assert len(ops.sem_search(posts, "q", "Title", k=2)) == 2
+        assert len(ops.sem_search(posts, "q", "Title", k=99)) == 4
+
+    def test_empty_frame(self, ops):
+        frame = DataFrame({"Title": []})
+        assert ops.sem_search(frame, "q", "Title").empty
+
+    def test_invalid_k(self, ops, posts):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_search(posts, "q", "Title", k=0)
+
+    def test_unknown_column(self, ops, posts):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_search(posts, "q", "Body")
+
+    def test_uses_batched_relevance_calls(self, lm, posts):
+        ops = SemanticOperators(lm, batch_size=8)
+        ops.sem_search(posts, "time series", "Title", k=1)
+        assert lm.usage.calls == 4
+        assert lm.usage.batches == 1
+
+
+class TestSemAggBy:
+    @pytest.fixture()
+    def races(self) -> DataFrame:
+        return DataFrame(
+            {
+                "circuit": ["Sepang", "Sepang", "Monza", "Monza", "Monza"],
+                "year": [1999, 2000, 1999, 2000, 2001],
+            }
+        )
+
+    def test_one_summary_per_group(self, ops, races):
+        out = ops.sem_agg_by(
+            races, "Summarize the seasons", by="circuit"
+        )
+        assert out.columns == ["circuit", "summary"]
+        assert out["circuit"].tolist() == ["Sepang", "Monza"]
+        sepang, monza = out["summary"].tolist()
+        assert "1999" in sepang and "2000" in sepang
+        assert "2001" in monza and "2001" not in sepang
+
+    def test_column_restriction_and_output_name(self, ops, races):
+        out = ops.sem_agg_by(
+            races,
+            "Summarize",
+            by="circuit",
+            columns=["year"],
+            output_column="digest",
+        )
+        assert "digest" in out.columns
+        assert "circuit:" not in out["digest"][0]
+
+    def test_unknown_group_column(self, ops, races):
+        with pytest.raises(SemanticOperatorError):
+            ops.sem_agg_by(races, "Summarize", by="nope")

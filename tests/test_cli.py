@@ -1,0 +1,79 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSuiteCommand:
+    def test_lists_queries(self, capsys):
+        assert main(["suite"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") == 80
+        assert "match-k01" in output
+
+    def test_filters(self, capsys):
+        assert main(["suite", "--type", "ranking",
+                     "--capability", "reasoning"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") == 10
+        assert "ranking-r01" in output
+
+
+class TestSqlCommand:
+    def test_executes(self, capsys):
+        assert main(
+            ["sql", "formula_1", "SELECT COUNT(*) FROM circuits"]
+        ) == 0
+        assert "20" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        assert main(
+            ["sql", "formula_1", "SELECT name FROM circuits",
+             "--explain"]
+        ) == 0
+        assert "Scan" in capsys.readouterr().out
+
+    def test_sql_error_reported(self, capsys):
+        assert main(["sql", "formula_1", "SELECT nope FROM circuits"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sql", "nope", "SELECT 1"])
+
+
+class TestQueryCommand:
+    def test_runs_one_method(self, capsys):
+        assert main(
+            ["query", "comparison-k02", "--method", "tag"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Hand-written TAG" in output
+        assert "gold" in output
+
+    def test_unknown_qid(self, capsys):
+        assert main(["query", "nope-99"]) == 1
+        assert "no query" in capsys.readouterr().err
+
+    def test_unknown_method(self, capsys):
+        assert main(
+            ["query", "comparison-k02", "--method", "zzz"]
+        ) == 1
+
+
+class TestExportCommand:
+    def test_exports_csvs(self, tmp_path, capsys):
+        assert main(
+            ["export", "debit_card_specializing", str(tmp_path)]
+        ) == 0
+        written = capsys.readouterr().out.strip().splitlines()
+        assert len(written) == 4
+        assert (tmp_path / "customers.csv").exists()
+
+
+class TestBenchCommand:
+    def test_small_bench(self, capsys):
+        assert main(["bench", "--max-queries", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Table 2" in output
