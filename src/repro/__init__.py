@@ -28,10 +28,12 @@ from repro.frame import DataFrame
 from repro.knowledge import KnowledgeBase
 from repro.lm import LMConfig, SimulatedLM
 from repro.semantic import SemanticOperators
+from repro.serve import BatchingLM, TagServer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchingLM",
     "DataFrame",
     "Database",
     "KnowledgeBase",
@@ -41,6 +43,7 @@ __all__ = [
     "SimulatedLM",
     "TAGPipeline",
     "TAGResult",
+    "TagServer",
     "__version__",
     "build_suite",
     "format_table1",

@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
-from repro.errors import ReproError
-
 
 @dataclass
 class TAGResult:
@@ -57,6 +55,11 @@ class TAGPipeline:
     Exceptions from any step are captured on the result rather than
     propagated: a TAG *system* must report an answer (or lack of one)
     for every request, and the benchmark scores failures as incorrect.
+    This deliberately covers *all* exceptions, not just
+    :class:`~repro.errors.ReproError` — a buggy step (bad UDF, broken
+    custom generator) must fail one request, not kill the serving
+    worker running it.  ``KeyboardInterrupt``/``SystemExit`` still
+    propagate, so operator interrupts are never swallowed.
     """
 
     def __init__(
@@ -77,6 +80,6 @@ class TAGPipeline:
             result.answer = self.generation.generate(
                 request, result.table
             )
-        except ReproError as error:
+        except Exception as error:  # noqa: BLE001 - see class docstring
             result.error = error
         return result

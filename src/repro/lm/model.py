@@ -151,13 +151,29 @@ class SimulatedLM:
         output_tokens = count_tokens(text)
         if output_tokens > budget:
             text = self._truncate_to_tokens(text, budget)
-            output_tokens = budget
+            output_tokens = count_tokens(text)
         return text, prompt_tokens, output_tokens
 
     @staticmethod
     def _truncate_to_tokens(text: str, budget: int) -> str:
-        # Inverse of the 4-chars-per-token approximation.
-        return text[: budget * 4]
+        """Longest prefix of ``text`` with ``count_tokens(prefix) <= budget``.
+
+        The 4-chars-per-token inverse alone is not enough: the tokenizer
+        floors the count by the word count, so a whitespace-dense slice
+        of ``budget * 4`` characters can still exceed the budget.
+        ``count_tokens`` is monotone in prefix length, so binary-search
+        the cut point and recount.
+        """
+        if budget <= 0:
+            return ""
+        low, high = 0, min(len(text), budget * 4)
+        while low < high:
+            mid = (low + high + 1) // 2
+            if count_tokens(text[:mid]) <= budget:
+                low = mid
+            else:
+                high = mid - 1
+        return text[:low]
 
     def _account(
         self,

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
 class Usage:
-    """Cumulative usage counters; snapshot-and-subtract friendly."""
+    """Cumulative usage counters; snapshot-and-subtract friendly.
+
+    ``cache_hits``/``cache_misses`` are metered by the serving layer's
+    prompt cache (:class:`repro.serve.BatchingLM`): a hit returns a
+    stored response without touching the model, so it increments no
+    call/token/latency counter — cached work is never double-metered.
+    """
 
     calls: int = 0
     batches: int = 0
@@ -15,6 +21,8 @@ class Usage:
     output_tokens: int = 0
     simulated_seconds: float = 0.0
     context_errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def snapshot(self) -> "Usage":
         return Usage(
@@ -24,6 +32,8 @@ class Usage:
             self.output_tokens,
             self.simulated_seconds,
             self.context_errors,
+            self.cache_hits,
+            self.cache_misses,
         )
 
     def since(self, earlier: "Usage") -> "Usage":
@@ -35,4 +45,6 @@ class Usage:
             self.output_tokens - earlier.output_tokens,
             self.simulated_seconds - earlier.simulated_seconds,
             self.context_errors - earlier.context_errors,
+            self.cache_hits - earlier.cache_hits,
+            self.cache_misses - earlier.cache_misses,
         )

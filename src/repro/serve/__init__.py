@@ -1,0 +1,30 @@
+"""The concurrent TAG serving layer.
+
+Turns the library's single-pipeline core into a deployment: a
+:class:`TagServer` runs many :class:`~repro.core.TAGPipeline`\\ s on a
+worker pool, their LM calls coalesced into micro-batches by a
+:class:`BatchingLM` facade (with an optional LRU prompt cache), and all
+latency accounted on a deterministic :class:`VirtualClock` so measured
+throughput is machine-independent and exactly reproducible.
+"""
+
+from repro.serve.batching import BatchingLM, Session
+from repro.serve.cache import LRUCache
+from repro.serve.clock import VirtualClock
+from repro.serve.server import (
+    PipelineFactory,
+    ServeReport,
+    ServeResult,
+    TagServer,
+)
+
+__all__ = [
+    "BatchingLM",
+    "LRUCache",
+    "PipelineFactory",
+    "ServeReport",
+    "ServeResult",
+    "Session",
+    "TagServer",
+    "VirtualClock",
+]

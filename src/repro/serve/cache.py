@@ -1,0 +1,53 @@
+"""A small LRU map used as the serving layer's prompt->response cache.
+
+Deliberately not thread-safe on its own: :class:`repro.serve.BatchingLM`
+already serialises every scheduler decision under one condition
+variable, and hit/miss metering (wired into
+:class:`repro.lm.usage.Usage`) lives with the caller.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used cache with a fixed capacity.
+
+    ``capacity == 0`` disables the cache entirely: every ``get`` misses
+    and ``put`` is a no-op, so callers need no special-casing.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

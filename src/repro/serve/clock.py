@@ -1,0 +1,37 @@
+"""A deterministic virtual clock for the serving layer.
+
+Serving simulations must never read wall-clock time: ET numbers in the
+paper tables are machine-independent here because *all* latency comes
+from :class:`repro.lm.latency.LatencyModel`.  The serving layer keeps
+that property by advancing a virtual clock with the simulated latency
+of every flushed micro-batch — the clock models the single simulated
+accelerator that batches are serialized through, so
+
+    throughput = requests / clock.now()
+
+is exactly reproducible across machines and thread schedules.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class VirtualClock:
+    """Thread-safe monotone virtual time, in simulated seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} seconds")
+        with self._lock:
+            self._now += seconds
+            return self._now

@@ -1,0 +1,200 @@
+"""TagServer: run many TAG requests concurrently over one simulated LM.
+
+The server owns the serving substrate the ROADMAP's scaling work plugs
+into: a worker pool of threads, each running a :class:`TAGPipeline`
+bound to a shared :class:`~repro.serve.batching.BatchingLM`, so LM
+calls from different in-flight requests coalesce into micro-batches.
+
+Scheduling is static round-robin (worker ``i`` serves requests
+``i, i + W, i + 2W, ...``) rather than a shared work queue: which
+requests are in flight together is then a pure function of the request
+list, which keeps micro-batch composition — and therefore every
+simulated-seconds number — deterministic (see
+:mod:`repro.serve.batching`).  The report's ``simulated_seconds`` is
+the virtual-clock makespan: micro-batches are serialized through one
+simulated accelerator, so ``requests / simulated_seconds`` is the
+deployment's reproducible throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.tag import TAGPipeline, TAGResult
+from repro.lm.model import SimulatedLM
+from repro.lm.usage import Usage
+from repro.serve.batching import BatchingLM, Session
+from repro.serve.clock import VirtualClock
+
+#: Builds one pipeline per worker, bound to the server's batching LM.
+PipelineFactory = Callable[[BatchingLM], TAGPipeline]
+
+
+@dataclass
+class ServeResult:
+    """One served request: the TAG outcome plus serving diagnostics."""
+
+    index: int
+    request: str
+    result: TAGResult
+    #: Simulated LM seconds attributed to this request's responses.
+    et_seconds: float
+    worker: int
+    lm_calls: int
+    cache_hits: int
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
+@dataclass
+class ServeReport:
+    """All results of one :meth:`TagServer.serve` run."""
+
+    results: list[ServeResult]
+    #: Virtual-clock makespan of the run (simulated accelerator time).
+    simulated_seconds: float
+    #: LM usage accumulated by the run (snapshot delta).
+    usage: Usage
+    workers: int
+    window: int
+    errors: list[ServeResult] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.errors = [r for r in self.results if not r.ok]
+
+    @property
+    def throughput_rps(self) -> float:
+        """Simulated requests per second for the whole run."""
+        if self.simulated_seconds == 0.0:
+            return float("inf") if self.results else 0.0
+        return len(self.results) / self.simulated_seconds
+
+    def answers(self) -> list[object]:
+        return [r.result.answer for r in self.results]
+
+
+class TagServer:
+    """Serve TAG requests on a worker pool with micro-batched inference."""
+
+    def __init__(
+        self,
+        pipeline_factory: PipelineFactory,
+        lm: SimulatedLM | None = None,
+        workers: int = 4,
+        window: int = 8,
+        cache_size: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._factory = pipeline_factory
+        self._inner = lm or SimulatedLM()
+        self.workers = workers
+        self.window = window
+        self.cache_size = cache_size
+
+    def serve(self, requests: list[str]) -> ServeReport:
+        """Run every request; never raises for a single request's failure.
+
+        :class:`TAGPipeline` already converts step exceptions into
+        ``TAGResult.error``; anything escaping anyway (a crashing
+        pipeline *factory*, a bug in a custom step's attribute access
+        outside ``run``) is caught per worker so one bad pipeline
+        cannot take down the run.
+        """
+        clock = VirtualClock()
+        batching = BatchingLM(
+            self._inner,
+            window=self.window,
+            cache_size=self.cache_size,
+            clock=clock,
+        )
+        before = self._inner.usage.snapshot()
+        assignments = [
+            (worker, list(range(worker, len(requests), self.workers)))
+            for worker in range(min(self.workers, len(requests)))
+        ]
+        # Register every worker before any thread runs: the flush
+        # barrier must know the full session population up front.
+        sessions = {
+            worker: batching.open_session(order=worker)
+            for worker, _ in assignments
+        }
+        results: list[ServeResult | None] = [None] * len(requests)
+        threads = [
+            threading.Thread(
+                target=self._run_worker,
+                args=(
+                    batching,
+                    sessions[worker],
+                    worker,
+                    indices,
+                    requests,
+                    results,
+                ),
+                name=f"tag-worker-{worker}",
+            )
+            for worker, indices in assignments
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return ServeReport(
+            results=[result for result in results if result is not None],
+            simulated_seconds=clock.now(),
+            usage=self._inner.usage.since(before),
+            workers=self.workers,
+            window=self.window,
+        )
+
+    def _run_worker(
+        self,
+        batching: BatchingLM,
+        session: Session,
+        worker: int,
+        indices: list[int],
+        requests: list[str],
+        results: list[ServeResult | None],
+    ) -> None:
+        with session:
+            try:
+                pipeline = self._factory(batching)
+            except Exception as exc:  # noqa: BLE001 - fail requests, not the run
+                for index in indices:
+                    results[index] = ServeResult(
+                        index=index,
+                        request=requests[index],
+                        result=TAGResult(
+                            request=requests[index], error=exc
+                        ),
+                        et_seconds=0.0,
+                        worker=worker,
+                        lm_calls=0,
+                        cache_hits=0,
+                    )
+                return
+            for index in indices:
+                seconds = session.consumed_seconds
+                calls = session.lm_calls
+                hits = session.cache_hits
+                try:
+                    outcome = pipeline.run(requests[index])
+                except Exception as exc:  # noqa: BLE001 - worker must survive
+                    outcome = TAGResult(
+                        request=requests[index], error=exc
+                    )
+                results[index] = ServeResult(
+                    index=index,
+                    request=requests[index],
+                    result=outcome,
+                    et_seconds=session.consumed_seconds - seconds,
+                    worker=worker,
+                    lm_calls=session.lm_calls - calls,
+                    cache_hits=session.cache_hits - hits,
+                )

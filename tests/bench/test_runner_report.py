@@ -80,6 +80,39 @@ class TestRunner:
             )
 
 
+class TestHarnessSurvival:
+    def test_crashing_method_is_recorded_not_fatal(self):
+        """A method hitting a non-ReproError bug yields error records.
+
+        Together with ``TAGPipeline`` wrapping all exceptions, this is
+        what lets serving workers and benchmark runs outlive buggy
+        pipelines.
+        """
+        from repro.bench.suite import build_suite
+        from repro.lm import LMConfig, SimulatedLM
+        from repro.methods.base import Method
+
+        class CrashingMethod(Method):
+            name = "Crashing"
+
+            def _answer(self, spec, dataset):
+                raise ValueError("not a ReproError")
+
+        queries = [
+            s for s in build_suite()
+            if s.qid in ("match-k01", "comparison-k02")
+        ]
+        report = run_benchmark(
+            seed=0,
+            methods=[CrashingMethod(SimulatedLM(LMConfig(seed=0)))],
+            queries=queries,
+        )
+        assert len(report.records) == 2
+        for record in report.records:
+            assert record.error == "ValueError: not a ReproError"
+            assert record.correct is False
+
+
 class TestReport:
     def test_table1_rows_structure(self, small_report):
         rows = table1_rows(small_report)

@@ -44,6 +44,42 @@ class TestTAGPipeline:
         assert isinstance(result.error, ReproError)
         assert result.answer is None
 
+    def test_non_repro_errors_also_captured(self, movies_db):
+        """A buggy custom step must fail the request, not the caller.
+
+        Serving workers run arbitrary user pipelines; any exception
+        escaping ``run`` would kill the worker thread, so *all*
+        exceptions are wrapped into ``TAGResult.error``.
+        """
+
+        class BuggyGenerator:
+            def generate(self, request, table):
+                raise ValueError("user bug, not a ReproError")
+
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer("SELECT title FROM movies"),
+            SQLExecutor(movies_db),
+            BuggyGenerator(),
+        )
+        result = pipeline.run("anything")
+        assert not result.ok
+        assert isinstance(result.error, ValueError)
+        assert result.table  # earlier steps' progress is preserved
+        assert result.answer is None
+
+    def test_keyboard_interrupt_propagates(self, movies_db):
+        class InterruptedGenerator:
+            def generate(self, request, table):
+                raise KeyboardInterrupt
+
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer("SELECT title FROM movies"),
+            SQLExecutor(movies_db),
+            InterruptedGenerator(),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            pipeline.run("anything")
+
 
 class TestSynthesizers:
     def test_fixed(self):

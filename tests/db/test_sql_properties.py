@@ -2,7 +2,10 @@
 
 Invariants: optimizer equivalence on generated queries, LIMIT/OFFSET
 slicing semantics, DISTINCT idempotence, COUNT consistency with WHERE
-partitioning.
+partitioning, and full-result equivalence of random
+SELECT/WHERE/ORDER BY/LIMIT queries against a naive in-Python
+evaluator implementing textbook SQL semantics (Kleene three-valued
+logic, NULLS-first ascending sort, stable multi-key ordering).
 """
 
 from __future__ import annotations
@@ -139,3 +142,195 @@ class TestRelationalInvariants:
             "SELECT c, COUNT(*) FROM t GROUP BY c"
         ).rows
         assert sum(count for _, count in groups) == len(rows)
+
+
+# ---------------------------------------------------------------------------
+# Naive-evaluator cross-check
+# ---------------------------------------------------------------------------
+
+_COLUMN_INDEX = {"a": 0, "b": 1, "c": 2}
+
+_COMPARATORS = {
+    "<": lambda l, r: l < r,
+    "<=": lambda l, r: l <= r,
+    "=": lambda l, r: l == r,
+    ">": lambda l, r: l > r,
+    ">=": lambda l, r: l >= r,
+    "<>": lambda l, r: l != r,
+}
+
+
+@st.composite
+def predicates(draw, depth=1):
+    """A structured WHERE predicate (rendered and evaluated in sync)."""
+    leaves = [
+        st.tuples(
+            st.just("cmp"),
+            st.sampled_from(["a", "b"]),
+            st.sampled_from(sorted(_COMPARATORS)),
+            st.integers(-5, 5),
+        ),
+        st.tuples(
+            st.just("isnull"),
+            st.sampled_from(["a", "b", "c"]),
+            st.booleans(),  # negated -> IS NOT NULL
+        ),
+        st.tuples(
+            st.just("eqtext"), st.sampled_from(["x", "y", "z"])
+        ),
+    ]
+    if depth > 0:
+        nested = predicates(depth=depth - 1)
+        leaves.append(
+            st.tuples(
+                st.sampled_from(["and", "or"]), nested, nested
+            )
+        )
+    return draw(st.one_of(leaves))
+
+
+def _render_predicate(pred) -> str:
+    kind = pred[0]
+    if kind == "cmp":
+        _, column, operator, value = pred
+        return f"{column} {operator} {value}"
+    if kind == "isnull":
+        _, column, negated = pred
+        return f"{column} IS {'NOT ' if negated else ''}NULL"
+    if kind == "eqtext":
+        return f"c = '{pred[1]}'"
+    _, left, right = pred
+    return (
+        f"({_render_predicate(left)}) {kind.upper()} "
+        f"({_render_predicate(right)})"
+    )
+
+
+def _eval_predicate(pred, row):
+    """Three-valued (True/False/None) predicate over a raw row."""
+    kind = pred[0]
+    if kind == "cmp":
+        _, column, operator, value = pred
+        operand = row[_COLUMN_INDEX[column]]
+        if operand is None:
+            return None
+        return _COMPARATORS[operator](operand, value)
+    if kind == "isnull":
+        _, column, negated = pred
+        is_null = row[_COLUMN_INDEX[column]] is None
+        return is_null != negated
+    if kind == "eqtext":
+        operand = row[_COLUMN_INDEX["c"]]
+        if operand is None:
+            return None
+        return operand == pred[1]
+    _, left, right = pred
+    lhs = _eval_predicate(left, row)
+    rhs = _eval_predicate(right, row)
+    if kind == "and":
+        if lhs is False or rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+    if lhs is True or rhs is True:
+        return True
+    if lhs is None or rhs is None:
+        return None
+    return False
+
+
+def _naive_sort_key(value):
+    """Mirror of engine ordering: NULLs, then numerics, then text."""
+    if value is None:
+        return (0, 0.0)
+    if isinstance(value, (bool, int, float)):
+        return (1, float(value))
+    return (2, value)
+
+
+def _naive_evaluate(rows, select, where, order, limit, offset):
+    """Textbook evaluation: filter -> sort -> slice -> project."""
+    if where is not None:
+        rows = [
+            row for row in rows if _eval_predicate(where, row) is True
+        ]
+    else:
+        rows = list(rows)
+    for column, ascending in reversed(order):
+        rows.sort(
+            key=lambda row: _naive_sort_key(row[_COLUMN_INDEX[column]]),
+            reverse=not ascending,
+        )
+    if limit is not None:
+        rows = rows[offset : offset + limit]
+    return [
+        tuple(row[_COLUMN_INDEX[column]] for column in select)
+        for row in rows
+    ]
+
+
+@st.composite
+def select_queries(draw):
+    select = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    where = draw(st.none() | predicates())
+    order = draw(
+        st.lists(
+            st.tuples(st.sampled_from(select), st.booleans()),
+            max_size=2,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    limit = draw(st.none() | st.integers(0, 30))
+    offset = draw(st.integers(0, 5)) if limit is not None else 0
+    return select, where, order, limit, offset
+
+
+def _render_query(select, where, order, limit, offset) -> str:
+    sql = f"SELECT {', '.join(select)} FROM t"
+    if where is not None:
+        sql += f" WHERE {_render_predicate(where)}"
+    if order:
+        keys = ", ".join(
+            f"{column} {'ASC' if ascending else 'DESC'}"
+            for column, ascending in order
+        )
+        sql += f" ORDER BY {keys}"
+    if limit is not None:
+        sql += f" LIMIT {limit} OFFSET {offset}"
+    return sql
+
+
+class TestNaiveEvaluatorCrossCheck:
+    """The engine must agree with a from-first-principles evaluator."""
+
+    @given(small_tables(), select_queries())
+    @settings(max_examples=120, deadline=None)
+    def test_engine_matches_naive_evaluator(self, rows, query):
+        select, where, order, limit, offset = query
+        db = _database(rows)
+        sql = _render_query(select, where, order, limit, offset)
+        expected = _naive_evaluate(
+            rows, select, where, order, limit, offset
+        )
+        assert db.execute(sql, optimize=True).rows == expected, sql
+        assert db.execute(sql, optimize=False).rows == expected, sql
+
+    @given(small_tables(), predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_naive_filter(self, rows, where):
+        db = _database(rows)
+        got = db.execute(
+            f"SELECT COUNT(*) FROM t WHERE {_render_predicate(where)}"
+        ).scalar()
+        expected = sum(
+            _eval_predicate(where, row) is True for row in rows
+        )
+        assert got == expected

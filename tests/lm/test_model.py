@@ -105,6 +105,43 @@ class TestSimulatedLM:
         response = lm.complete(prompt, max_tokens=5)
         assert response.output_tokens <= 5
 
+    def test_truncation_invariant_output_tokens_match_text(
+        self, lm, datasets
+    ):
+        """Regression: ``output_tokens == count_tokens(text)`` always.
+
+        The old truncation sliced to ``budget * 4`` characters and
+        *reported* ``budget`` tokens; whitespace-dense text re-counts
+        higher than that, so the meter and the text disagreed.
+        """
+        from repro.lm.prompts import answer_prompt
+
+        records = datasets["formula_1"].frames["races"].to_records()[:10]
+        prompt = answer_prompt(
+            "Provide information about the races.", records,
+            aggregation=True,
+        )
+        for budget in (1, 3, 5, 17, 64):
+            response = lm.complete(prompt, max_tokens=budget)
+            assert response.output_tokens == count_tokens(response.text)
+            assert response.output_tokens <= budget
+
+    def test_truncate_to_tokens_respects_word_floor(self):
+        # 40 one-char words: 2 chars per word, so the 4-chars-per-token
+        # inverse alone would keep 5 * 4 = 20 chars = 10 words.
+        text = " ".join("a" * 40)
+        truncated = SimulatedLM._truncate_to_tokens(text, 5)
+        assert count_tokens(truncated) <= 5
+        # Maximal: one more character must break the budget.
+        longer = text[: len(truncated) + 1]
+        assert count_tokens(longer) > 5 or longer == truncated
+
+    def test_truncate_to_tokens_zero_budget(self):
+        assert SimulatedLM._truncate_to_tokens("anything at all", 0) == ""
+
+    def test_truncate_to_tokens_noop_within_budget(self):
+        assert SimulatedLM._truncate_to_tokens("short", 10) == "short"
+
     def test_unroutable_prompt_raises(self, lm):
         with pytest.raises(PromptRoutingError):
             lm.complete("complete gibberish with no recognised header")

@@ -1,0 +1,109 @@
+"""Usage accounting under mixed complete / complete_batch / cached calls.
+
+The serving layer bills every deployment through one ``Usage`` meter,
+so the counters must stay additive however calls are issued, and cache
+hits must never double-meter tokens or seconds.
+"""
+
+import pytest
+
+from repro.lm import LMConfig, SimulatedLM, Usage, count_tokens, prompts
+from repro.serve import BatchingLM
+
+CONDITIONS = [
+    "Palo Alto is a city in the Silicon Valley region",
+    "Fresno is a city in the Bay Area region",
+    "Oakland is a city in the Bay Area region",
+    "Napa is a city in the Bay Area region",
+]
+
+PROMPTS = [prompts.judgment_prompt(c) for c in CONDITIONS]
+
+
+def fresh_lm() -> SimulatedLM:
+    return SimulatedLM(LMConfig(seed=0))
+
+
+class TestMixedCallAccounting:
+    def test_calls_batches_and_tokens_are_additive(self):
+        lm = fresh_lm()
+        first = lm.complete(PROMPTS[0])
+        batch = lm.complete_batch(PROMPTS[1:3])
+        last = lm.complete(PROMPTS[3])
+        responses = [first, *batch, last]
+        assert lm.usage.calls == 4
+        assert lm.usage.batches == 3  # two singles + one batch
+        assert lm.usage.prompt_tokens == sum(
+            r.prompt_tokens for r in responses
+        )
+        assert lm.usage.output_tokens == sum(
+            r.output_tokens for r in responses
+        )
+        assert lm.usage.simulated_seconds == pytest.approx(
+            sum(r.latency_s for r in responses)
+        )
+
+    def test_snapshot_since_covers_every_counter(self):
+        lm = fresh_lm()
+        lm.complete(PROMPTS[0])
+        before = lm.usage.snapshot()
+        lm.complete_batch(PROMPTS[1:])
+        delta = lm.usage.since(before)
+        assert delta.calls == 3
+        assert delta.batches == 1
+        assert delta.prompt_tokens == sum(
+            count_tokens(p) for p in PROMPTS[1:]
+        )
+        assert delta.simulated_seconds > 0
+        assert delta.cache_hits == 0
+        assert delta.cache_misses == 0
+
+    def test_usage_defaults_include_cache_counters(self):
+        usage = Usage()
+        assert usage.cache_hits == 0
+        assert usage.cache_misses == 0
+
+    def test_mixed_direct_and_cached_calls(self):
+        """Interleave facade (cached) and direct calls on one meter."""
+        inner = fresh_lm()
+        facade = BatchingLM(inner, window=4, cache_size=16)
+        facade.complete(PROMPTS[0])  # miss
+        facade.complete(PROMPTS[0])  # hit
+        inner.complete(PROMPTS[1])  # direct, bypasses the cache
+        facade.complete_batch([PROMPTS[2], PROMPTS[3]])  # two misses
+        facade.complete(PROMPTS[2])  # hit
+        assert inner.usage.cache_misses == 3
+        assert inner.usage.cache_hits == 2
+        # Only the 3 misses + 1 direct call touched the model.
+        assert inner.usage.calls == 4
+        # Every model execution bills its prompt exactly once: P0, P2,
+        # P3 through the facade, P1 through the direct call.
+        assert inner.usage.prompt_tokens == sum(
+            count_tokens(p) for p in PROMPTS
+        )
+
+    def test_cache_hits_add_no_seconds(self):
+        inner = fresh_lm()
+        facade = BatchingLM(inner, window=4, cache_size=16)
+        facade.complete(PROMPTS[0])
+        seconds = inner.usage.simulated_seconds
+        for _ in range(5):
+            facade.complete(PROMPTS[0])
+        assert inner.usage.simulated_seconds == seconds
+        assert inner.usage.cache_hits == 5
+
+    def test_facade_without_cache_matches_sequential_meter(self):
+        inner = fresh_lm()
+        facade = BatchingLM(inner, window=4)
+        for prompt in PROMPTS:
+            facade.complete(prompt)
+        reference = fresh_lm()
+        for prompt in PROMPTS:
+            reference.complete(prompt)
+        assert inner.usage.calls == reference.usage.calls
+        assert inner.usage.prompt_tokens == reference.usage.prompt_tokens
+        assert inner.usage.output_tokens == reference.usage.output_tokens
+        # Single-threaded use flushes batches of one: same seconds too.
+        assert inner.usage.simulated_seconds == pytest.approx(
+            reference.usage.simulated_seconds
+        )

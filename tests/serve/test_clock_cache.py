@@ -1,0 +1,71 @@
+"""Unit tests for the serving substrate: VirtualClock and LRUCache."""
+
+import pytest
+
+from repro.serve import LRUCache, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now() == 2.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=10.0).now() == 10.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert "k" in cache
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes recency
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert "a" not in cache
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,245 @@
+"""Tests for TagServer: ordering, equivalence, survival, determinism."""
+
+import pytest
+
+from repro.core import (
+    FixedQuerySynthesizer,
+    SQLExecutor,
+    SingleCallGenerator,
+    TAGPipeline,
+)
+from repro.data import movies
+from repro.lm import LMConfig, SimulatedLM
+from repro.serve import TagServer
+
+ROMANCE_SQL = (
+    "SELECT movie_title, review FROM movies "
+    "WHERE genre = 'Romance' ORDER BY revenue DESC LIMIT 1"
+)
+
+
+@pytest.fixture(scope="module")
+def movie_dataset():
+    return movies.build()
+
+
+def romance_factory(dataset):
+    def factory(lm) -> TAGPipeline:
+        return TAGPipeline(
+            FixedQuerySynthesizer(ROMANCE_SQL),
+            SQLExecutor(dataset.db),
+            SingleCallGenerator(lm, aggregation=True),
+        )
+
+    return factory
+
+
+def requests(count: int) -> list[str]:
+    return [
+        f"Summarize the reviews of the top romance movie (#{index})"
+        for index in range(count)
+    ]
+
+
+class TestTagServer:
+    def test_serves_all_requests_in_order(self, movie_dataset):
+        server = TagServer(
+            romance_factory(movie_dataset),
+            SimulatedLM(LMConfig(seed=0)),
+            workers=4,
+            window=8,
+        )
+        report = server.serve(requests(10))
+        assert [r.index for r in report.results] == list(range(10))
+        assert all(r.ok for r in report.results)
+        assert report.errors == []
+        assert all(r.result.answer for r in report.results)
+
+    def test_matches_unserved_pipeline_answers(self, movie_dataset):
+        """Concurrent serving returns exactly the sequential answers."""
+        server = TagServer(
+            romance_factory(movie_dataset),
+            SimulatedLM(LMConfig(seed=0)),
+            workers=3,
+            window=4,
+        )
+        served = server.serve(requests(6)).answers()
+        reference_lm = SimulatedLM(LMConfig(seed=0))
+        pipeline = romance_factory(movie_dataset)(reference_lm)
+        sequential = [
+            pipeline.run(request).answer for request in requests(6)
+        ]
+        assert served == sequential
+
+    def test_deterministic_across_runs(self, movie_dataset):
+        def run():
+            server = TagServer(
+                romance_factory(movie_dataset),
+                SimulatedLM(LMConfig(seed=0)),
+                workers=4,
+                window=4,
+            )
+            return server.serve(requests(9))
+
+        first, second = run(), run()
+        assert first.answers() == second.answers()
+        assert first.simulated_seconds == second.simulated_seconds
+        assert (
+            first.usage.simulated_seconds
+            == second.usage.simulated_seconds
+        )
+        assert [r.et_seconds for r in first.results] == [
+            r.et_seconds for r in second.results
+        ]
+
+    def test_usage_additive_with_per_request_diagnostics(
+        self, movie_dataset
+    ):
+        server = TagServer(
+            romance_factory(movie_dataset),
+            SimulatedLM(LMConfig(seed=0)),
+            workers=4,
+            window=8,
+        )
+        report = server.serve(requests(8))
+        assert (
+            sum(r.lm_calls for r in report.results)
+            == report.usage.calls
+        )
+        assert sum(
+            r.et_seconds for r in report.results
+        ) == pytest.approx(report.usage.simulated_seconds)
+        # Makespan equals accelerator-serialized batch time.
+        assert report.simulated_seconds == pytest.approx(
+            report.usage.simulated_seconds
+        )
+
+    def test_batching_beats_single_worker(self, movie_dataset):
+        def run(workers, window):
+            server = TagServer(
+                romance_factory(movie_dataset),
+                SimulatedLM(LMConfig(seed=0)),
+                workers=workers,
+                window=window,
+            )
+            return server.serve(requests(12))
+
+        solo = run(workers=1, window=1)
+        batched = run(workers=12, window=12)
+        assert batched.answers() == solo.answers()
+        assert batched.simulated_seconds < solo.simulated_seconds
+        assert batched.throughput_rps > solo.throughput_rps
+
+    def test_cache_serves_repeated_requests(self, movie_dataset):
+        server = TagServer(
+            romance_factory(movie_dataset),
+            SimulatedLM(LMConfig(seed=0)),
+            workers=4,
+            window=8,
+            cache_size=64,
+        )
+        same = ["Summarize the reviews of the top romance movie"] * 8
+        report = server.serve(same)
+        assert report.usage.cache_hits == 7
+        assert report.usage.cache_misses == 1
+        assert report.usage.calls == 1
+        assert len(set(report.answers())) == 1
+
+    def test_more_workers_than_requests(self, movie_dataset):
+        server = TagServer(
+            romance_factory(movie_dataset),
+            SimulatedLM(LMConfig(seed=0)),
+            workers=16,
+            window=8,
+        )
+        report = server.serve(requests(3))
+        assert len(report.results) == 3
+        assert all(r.ok for r in report.results)
+
+    def test_empty_request_list(self, movie_dataset):
+        server = TagServer(
+            romance_factory(movie_dataset), SimulatedLM(LMConfig(seed=0))
+        )
+        report = server.serve([])
+        assert report.results == []
+        assert report.throughput_rps == 0.0
+
+    def test_workers_validated(self, movie_dataset):
+        with pytest.raises(ValueError):
+            TagServer(romance_factory(movie_dataset), workers=0)
+
+    def test_window_validated(self, movie_dataset):
+        with pytest.raises(ValueError):
+            TagServer(romance_factory(movie_dataset), window=0)
+
+
+class _ExplodingGenerator:
+    """A buggy user-supplied generation step (not a ReproError)."""
+
+    def generate(self, request, table):
+        raise ValueError("buggy custom step")
+
+
+class TestWorkerSurvival:
+    def test_buggy_step_fails_request_not_run(self, movie_dataset):
+        def factory(lm) -> TAGPipeline:
+            return TAGPipeline(
+                FixedQuerySynthesizer(ROMANCE_SQL),
+                SQLExecutor(movie_dataset.db),
+                _ExplodingGenerator(),
+            )
+
+        server = TagServer(
+            factory, SimulatedLM(LMConfig(seed=0)), workers=4
+        )
+        report = server.serve(requests(6))
+        assert len(report.results) == 6
+        assert all(not r.ok for r in report.results)
+        assert all(
+            isinstance(r.result.error, ValueError)
+            for r in report.results
+        )
+
+    def test_mixed_failures_isolated(self, movie_dataset):
+        """One worker's broken pipeline never blocks the others."""
+        calls = iter(range(100))
+
+        def factory(lm) -> TAGPipeline:
+            if next(calls) == 0:  # first worker gets the broken one
+                return TAGPipeline(
+                    FixedQuerySynthesizer(ROMANCE_SQL),
+                    SQLExecutor(movie_dataset.db),
+                    _ExplodingGenerator(),
+                )
+            return romance_factory(movie_dataset)(lm)
+
+        server = TagServer(
+            factory, SimulatedLM(LMConfig(seed=0)), workers=3
+        )
+        report = server.serve(requests(9))
+        failed = [r for r in report.results if not r.ok]
+        succeeded = [r for r in report.results if r.ok]
+        assert {r.worker for r in failed} == {0}
+        assert len(succeeded) == 6
+        assert all(r.result.answer for r in succeeded)
+
+    def test_crashing_factory_fails_its_requests_only(
+        self, movie_dataset
+    ):
+        workers_built = iter(range(100))
+
+        def factory(lm) -> TAGPipeline:
+            if next(workers_built) == 0:
+                raise RuntimeError("factory exploded")
+            return romance_factory(movie_dataset)(lm)
+
+        server = TagServer(
+            factory, SimulatedLM(LMConfig(seed=0)), workers=3
+        )
+        report = server.serve(requests(6))
+        failed = [r for r in report.results if not r.ok]
+        assert {r.worker for r in failed} == {0}
+        assert all(
+            isinstance(r.result.error, RuntimeError) for r in failed
+        )
+        assert len([r for r in report.results if r.ok]) == 4
