@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-smoke:
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py -q
+
+# The pre-merge gate: the full tier-1 suite plus a smoke-mode pass of
+# the resilience benchmark (fault injection, retries, fallback).
+verify: test bench-smoke
+	@echo "verify: OK"

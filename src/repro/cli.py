@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``):
     python -m repro sql <domain> "<SELECT ...>" [--explain]
     python -m repro suite [--type T] [--capability C]
     python -m repro export <domain> <directory>
+    python -m repro serve [--requests N] [--fault-rate R] [--retries N]
 """
 
 from __future__ import annotations
@@ -69,6 +70,46 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("domain", choices=DOMAINS)
     export.add_argument("directory")
     export.add_argument("--seed", type=int, default=0)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a demo TAG request stream under injected faults",
+    )
+    serve.add_argument("--requests", type=int, default=16)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--window", type=int, default=4)
+    serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="total injected-fault probability per LM call",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="LM + fault-schedule seed"
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="retry attempts after the first (0 disables retries)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request budget in simulated seconds",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="consecutive failures that trip the circuit breaker",
+    )
+    serve.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the degraded raw-table fallback tier",
+    )
 
     return parser
 
@@ -152,12 +193,102 @@ def _command_export(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from repro.core import (
+        FallbackPipeline,
+        FixedQuerySynthesizer,
+        NoGenerator,
+        SQLExecutor,
+        SingleCallGenerator,
+        TAGPipeline,
+    )
+    from repro.data import movies
+    from repro.lm import FaultPlan
+    from repro.serve import (
+        BreakerPolicy,
+        ResiliencePolicy,
+        RetryPolicy,
+        TagServer,
+    )
+
+    dataset = movies.build(seed=args.seed)
+    sql = (
+        "SELECT movie_title, review FROM movies "
+        "WHERE genre = 'Romance' ORDER BY revenue DESC LIMIT 1"
+    )
+
+    def factory(lm):
+        primary = TAGPipeline(
+            FixedQuerySynthesizer(sql),
+            SQLExecutor(dataset.db),
+            SingleCallGenerator(lm, aggregation=True),
+        )
+        if args.no_fallback:
+            return primary
+        raw_table = TAGPipeline(
+            FixedQuerySynthesizer(sql),
+            SQLExecutor(dataset.db),
+            NoGenerator(),
+        )
+        return FallbackPipeline([("tag", primary), ("table", raw_table)])
+
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        deadline_s=args.deadline,
+        breaker=(
+            BreakerPolicy(failure_threshold=args.breaker_threshold)
+            if args.breaker_threshold is not None
+            else None
+        ),
+    )
+    server = TagServer(
+        factory,
+        SimulatedLM(LMConfig(seed=args.seed)),
+        workers=args.workers,
+        window=args.window,
+        fault_plan=FaultPlan.uniform(args.fault_rate, seed=args.seed),
+        resilience=resilience,
+    )
+    requests = [
+        f"Summarize the reviews of the top romance movie (#{index})"
+        for index in range(args.requests)
+    ]
+    report = server.serve(requests)
+    print(
+        f"served {len(report.results)} requests "
+        f"(workers={args.workers}, window={args.window}, "
+        f"fault rate={args.fault_rate:g}, seed={args.seed})"
+    )
+    print(f"  availability     {report.availability:8.2%}")
+    print(f"  degraded         {report.degraded_count:8d}")
+    print(f"  goodput          {report.goodput_rps:8.3f} req/s")
+    print(f"  throughput       {report.throughput_rps:8.3f} req/s")
+    print(f"  makespan         {report.simulated_seconds:8.2f} simulated-s")
+    print(
+        f"  latency p50/p95  "
+        f"{report.latency_percentile(0.5):8.2f} / "
+        f"{report.latency_percentile(0.95):.2f} simulated-s"
+    )
+    usage = report.usage
+    print(
+        f"  faults/retries   {usage.faults_injected:8d} / {usage.retries}"
+    )
+    print(
+        f"  trips/deadlines  "
+        f"{usage.breaker_trips:8d} / {usage.deadline_exceeded}"
+    )
+    for result in report.errors:
+        print(f"  FAILED #{result.index}: {result.result.error}")
+    return 0 if report.availability == 1.0 else 1
+
+
 _COMMANDS = {
     "bench": _command_bench,
     "query": _command_query,
     "sql": _command_sql,
     "suite": _command_suite,
     "export": _command_export,
+    "serve": _command_serve,
 }
 
 

@@ -32,11 +32,19 @@ from repro.core.synthesis import (
     FixedQuerySynthesizer,
     LMQuerySynthesizer,
 )
-from repro.core.tag import TAGPipeline, TAGResult
+from repro.core.tag import (
+    FallbackAttempt,
+    FallbackPipeline,
+    TAGError,
+    TAGPipeline,
+    TAGResult,
+)
 
 __all__ = [
     "ChainResult",
     "EmbeddingSynthesizer",
+    "FallbackAttempt",
+    "FallbackPipeline",
     "FixedQuerySynthesizer",
     "Hop",
     "LMQuerySynthesizer",
@@ -46,6 +54,7 @@ __all__ = [
     "SQLExecutor",
     "SingleCallGenerator",
     "TAGChain",
+    "TAGError",
     "TAGPipeline",
     "TAGResult",
     "VectorSearchExecutor",

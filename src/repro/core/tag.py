@@ -5,6 +5,66 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
+from repro.errors import ReproError
+
+#: Pipeline step names, indexed by the order they run.
+STEP_NAMES = ("synthesis", "execution", "generation")
+
+
+@dataclass
+class TAGError:
+    """A structured failure record: what broke, where, and why.
+
+    Degradation decisions (fallback chains, serving reports, tests)
+    match on ``kind`` and ``step`` rather than parsing strings; the
+    original exception rides along for re-raising and diagnostics but
+    is excluded from equality, so two runs that fail identically
+    compare equal.
+    """
+
+    #: Exception class name, e.g. ``"SQLSyntaxError"``.
+    kind: str
+    message: str
+    #: Index into :data:`STEP_NAMES` of the failing step; None when the
+    #: failure happened outside the pipeline (e.g. in a serving worker).
+    step: int | None = None
+    exception: Exception | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_exception(
+        cls, exception: Exception, step: int | None = None
+    ) -> "TAGError":
+        return cls(
+            kind=type(exception).__name__,
+            message=str(exception),
+            step=step,
+            exception=exception,
+        )
+
+    @property
+    def step_name(self) -> str | None:
+        return STEP_NAMES[self.step] if self.step is not None else None
+
+    def to_exception(self) -> Exception:
+        """The original exception, or a reconstruction if detached."""
+        if self.exception is not None:
+            return self.exception
+        return ReproError(str(self))
+
+    def __str__(self) -> str:
+        where = f" (during {self.step_name})" if self.step is not None else ""
+        return f"{self.kind}: {self.message}{where}"
+
+
+@dataclass
+class FallbackAttempt:
+    """One failed tier of a fallback chain: who tried, how it failed."""
+
+    method: str
+    error: TAGError
+
 
 @dataclass
 class TAGResult:
@@ -13,16 +73,28 @@ class TAGResult:
     ``query`` is whatever ``syn`` produced (SQL text, an embedding
     request, ...); ``table`` is the data ``exec`` computed (a list of
     records); ``answer`` is the final natural-language answer or value
-    list.  ``error`` carries the failure when a step raised — the
-    benchmark counts errored queries as incorrect, as the paper does
-    for invalid generated SQL and context-length failures.
+    list.  ``error`` carries the failure as a structured
+    :class:`TAGError` when a step raised — the benchmark counts errored
+    queries as incorrect, as the paper does for invalid generated SQL
+    and context-length failures.
+
+    When the result came through a :class:`FallbackPipeline`,
+    ``method`` names the tier that produced it, ``degraded`` is True if
+    any earlier tier failed first, and ``fallbacks`` records those
+    failures in order — a served request's full degradation history.
     """
 
     request: str
     query: Any = None
     table: list[dict[str, Any]] = field(default_factory=list)
     answer: Any = None
-    error: Exception | None = None
+    error: TAGError | None = None
+    #: Name of the fallback tier that produced this result, if any.
+    method: str | None = None
+    #: True when at least one higher-preference tier failed first.
+    degraded: bool = False
+    #: Failed tiers that preceded this result, in attempt order.
+    fallbacks: list[FallbackAttempt] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -74,12 +146,58 @@ class TAGPipeline:
 
     def run(self, request: str) -> TAGResult:
         result = TAGResult(request=request)
+        step = 0
         try:
             result.query = self.synthesis.synthesize(request)
+            step = 1
             result.table = self.execution.execute(result.query)
+            step = 2
             result.answer = self.generation.generate(
                 request, result.table
             )
         except Exception as error:  # noqa: BLE001 - see class docstring
-            result.error = error
+            result.error = TAGError.from_exception(error, step=step)
+        return result
+
+
+class FallbackPipeline:
+    """Graceful degradation: try tiers in preference order.
+
+    A served request should degrade, not error: if the primary pipeline
+    fails (a tripped breaker, an exhausted retry budget, broken SQL),
+    the next tier answers instead — e.g. hand-written TAG falling back
+    to Text2SQL-only, falling back to a refusal.  Each tier is a
+    ``(name, pipeline)`` pair where the pipeline has ``run(request) ->
+    TAGResult`` (a :class:`TAGPipeline`, another chain, anything
+    duck-compatible).
+
+    The returned result records its provenance: ``method`` is the tier
+    that answered, ``degraded`` marks non-primary answers, and
+    ``fallbacks`` lists every failed attempt's structured error.  When
+    all tiers fail, the last tier's errored result is returned (the
+    structured refusal) with the full failure history attached — the
+    caller always gets exactly one result and never an exception.
+    """
+
+    def __init__(self, tiers: list[tuple[str, Any]]) -> None:
+        if not tiers:
+            raise ValueError("FallbackPipeline needs at least one tier")
+        names = [name for name, _ in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.tiers = list(tiers)
+
+    def run(self, request: str) -> TAGResult:
+        attempts: list[FallbackAttempt] = []
+        result = None
+        for name, pipeline in self.tiers:
+            result = pipeline.run(request)
+            result.method = name
+            result.degraded = bool(attempts)
+            result.fallbacks = list(attempts)
+            if result.ok:
+                return result
+            attempts.append(FallbackAttempt(method=name, error=result.error))
+        # Every tier failed: the last result is the structured refusal.
+        result.fallbacks = attempts[:-1]
         return result

@@ -80,6 +80,100 @@ class PromptRoutingError(LMError):
     """No registered handler recognised the prompt format."""
 
 
+class TransientLMError(LMError):
+    """A retryable serving-side failure (backend hiccup, shed load).
+
+    Base class of every *injectable* fault: production LM serving sees
+    rate limits, timeouts, and garbled outputs as routine events, and a
+    client distinguishes them from permanent errors (bad prompt, context
+    overflow) by whether a retry can succeed.  ``latency_s`` is the
+    simulated seconds the failed call burned before erroring, so fault
+    handling costs virtual time exactly like successful calls do.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, latency_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.latency_s = latency_s
+
+
+class RateLimitError(TransientLMError):
+    """The deployment shed this request (HTTP 429 analogue).
+
+    Rejected at admission, so it burns almost no simulated compute.
+    """
+
+
+class LMTimeoutError(TransientLMError):
+    """The call exceeded the serving timeout and was cancelled.
+
+    The most expensive fault: the requester paid the full timeout in
+    simulated seconds and got nothing back.
+    """
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(
+            f"LM call timed out after {timeout_s:g} simulated seconds",
+            latency_s=timeout_s,
+        )
+        self.timeout_s = timeout_s
+
+
+class MalformedOutputError(TransientLMError):
+    """The model produced undecodable output (truncated/garbled text).
+
+    The compute ran to completion — ``latency_s`` is a full call's worth
+    — but the payload is unusable.  ``text`` carries the garbled output
+    for diagnostics.
+    """
+
+    def __init__(self, text: str, latency_s: float = 0.0) -> None:
+        super().__init__(
+            f"malformed LM output: {text[:60]!r}", latency_s=latency_s
+        )
+        self.text = text
+
+
+# --------------------------------------------------------------------------
+# Resilience middleware errors (repro.serve.resilience)
+# --------------------------------------------------------------------------
+
+
+class DeadlineExceededError(LMError):
+    """The request's simulated-seconds budget ran out before success.
+
+    Raised by the resilience middleware when retries (attempt latencies
+    plus backoff sleeps) would push a request past its deadline; the
+    last underlying failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, deadline_s: float, elapsed_s: float) -> None:
+        super().__init__(
+            f"deadline of {deadline_s:g}s exceeded after "
+            f"{elapsed_s:g} simulated seconds"
+        )
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+
+
+class CircuitOpenError(LMError):
+    """The circuit breaker is open: the call was rejected client-side.
+
+    Fails fast by design — ``latency_s`` is always 0.0; no simulated LM
+    compute is spent while the backend is known-bad.
+    """
+
+    latency_s = 0.0
+
+    def __init__(self, cooldown_remaining_s: float) -> None:
+        super().__init__(
+            "circuit breaker open; half-opens in "
+            f"{cooldown_remaining_s:g} simulated seconds"
+        )
+        self.cooldown_remaining_s = cooldown_remaining_s
+
+
 # --------------------------------------------------------------------------
 # Dataframe / semantic operator errors
 # --------------------------------------------------------------------------

@@ -20,12 +20,15 @@ accounting, batched inference, and a deterministic latency model that
 reproduces the paper's execution-time relationships.
 """
 
+from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.latency import LatencyModel
 from repro.lm.model import LMConfig, LMResponse, SimulatedLM
 from repro.lm.tokenizer import count_tokens
 from repro.lm.usage import Usage
 
 __all__ = [
+    "FaultPlan",
+    "FaultyLM",
     "LMConfig",
     "LMResponse",
     "LatencyModel",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -13,6 +13,16 @@ class Usage:
     prompt cache (:class:`repro.serve.BatchingLM`): a hit returns a
     stored response without touching the model, so it increments no
     call/token/latency counter — cached work is never double-metered.
+
+    The resilience counters are metered by the fault-injection and
+    middleware layers: ``faults_injected`` by
+    :class:`repro.lm.faults.FaultyLM` (one per injected fault, latency
+    spikes included), and ``retries``/``breaker_trips``/
+    ``deadline_exceeded`` by :class:`repro.serve.resilience.ResilientLM`
+    (one per backoff sleep, breaker closed→open transition, and
+    deadline kill respectively).  All stay zero on a healthy path, so a
+    fault-free run's accounting is bit-identical with or without the
+    resilience stack.
     """
 
     calls: int = 0
@@ -23,28 +33,21 @@ class Usage:
     context_errors: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    deadline_exceeded: int = 0
 
     def snapshot(self) -> "Usage":
         return Usage(
-            self.calls,
-            self.batches,
-            self.prompt_tokens,
-            self.output_tokens,
-            self.simulated_seconds,
-            self.context_errors,
-            self.cache_hits,
-            self.cache_misses,
+            **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
     def since(self, earlier: "Usage") -> "Usage":
         """Usage accumulated since an earlier snapshot."""
         return Usage(
-            self.calls - earlier.calls,
-            self.batches - earlier.batches,
-            self.prompt_tokens - earlier.prompt_tokens,
-            self.output_tokens - earlier.output_tokens,
-            self.simulated_seconds - earlier.simulated_seconds,
-            self.context_errors - earlier.context_errors,
-            self.cache_hits - earlier.cache_hits,
-            self.cache_misses - earlier.cache_misses,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )

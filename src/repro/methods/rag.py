@@ -62,5 +62,5 @@ class RAGMethod(Method):
         result = pipeline.run(spec.question)
         self.extra_cost(VECTOR_SEARCH_COST_S)
         if result.error is not None:
-            raise result.error
+            raise result.error.to_exception()
         return result.answer

@@ -51,5 +51,5 @@ class Text2SQLMethod(Method):
         result = pipeline.run(spec.question)
         self.extra_cost(SQL_EXECUTION_COST_S)
         if result.error is not None:
-            raise result.error
+            raise result.error.to_exception()
         return result.answer

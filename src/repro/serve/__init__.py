@@ -11,6 +11,13 @@ throughput is machine-independent and exactly reproducible.
 from repro.serve.batching import BatchingLM, Session
 from repro.serve.cache import LRUCache
 from repro.serve.clock import VirtualClock
+from repro.serve.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilientLM,
+    RetryPolicy,
+)
 from repro.serve.server import (
     PipelineFactory,
     ServeReport,
@@ -20,8 +27,13 @@ from repro.serve.server import (
 
 __all__ = [
     "BatchingLM",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "LRUCache",
     "PipelineFactory",
+    "ResiliencePolicy",
+    "ResilientLM",
+    "RetryPolicy",
     "ServeReport",
     "ServeResult",
     "Session",

@@ -263,6 +263,14 @@ class BatchingLM:
             for item in items:
                 if item.response is not None:
                     session.consumed_seconds += item.response.latency_s
+                elif item.error is not None:
+                    # Failed calls still consumed simulated seconds
+                    # (fault errors carry them); attribute the burn to
+                    # the requester so per-request latency under faults
+                    # reflects what the request actually cost.
+                    session.consumed_seconds += getattr(
+                        item.error, "latency_s", 0.0
+                    )
             return items
 
     def _flush_if_barrier(self) -> None:
@@ -324,6 +332,10 @@ class BatchingLM:
         try:
             response = self._inner.complete(item.prompt, item.max_tokens)
         except Exception as exc:  # noqa: BLE001 - delivered to the requester
+            # Injected faults carry the simulated seconds the failed
+            # call burned (a timeout costs the full timeout); the
+            # accelerator timeline pays for failures like successes.
+            self.clock.advance(getattr(exc, "latency_s", 0.0))
             item.error = exc
             item.done = True
             self._inflight.pop((item.prompt, item.max_tokens), None)

@@ -14,6 +14,15 @@ simulated-seconds number — deterministic (see
 the virtual-clock makespan: micro-batches are serialized through one
 simulated accelerator, so ``requests / simulated_seconds`` is the
 deployment's reproducible throughput.
+
+Serving under failure.  A :class:`~repro.lm.faults.FaultPlan` slots a
+:class:`~repro.lm.faults.FaultyLM` between the model and the batching
+facade, and a :class:`~repro.serve.resilience.ResiliencePolicy` wraps
+each worker's view of the LM in a
+:class:`~repro.serve.resilience.ResilientLM` (retries, deadlines, a
+per-worker circuit breaker).  Both are deterministic, so a faulty run
+is as reproducible as a healthy one; with no plan and no policy the
+stack is exactly the PR-1 server, bit for bit.
 """
 
 from __future__ import annotations
@@ -22,13 +31,17 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.tag import TAGPipeline, TAGResult
+from repro.core.tag import TAGError, TAGPipeline, TAGResult
+from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.model import SimulatedLM
 from repro.lm.usage import Usage
 from repro.serve.batching import BatchingLM, Session
 from repro.serve.clock import VirtualClock
+from repro.serve.resilience import ResiliencePolicy, ResilientLM
 
-#: Builds one pipeline per worker, bound to the server's batching LM.
+#: Builds one pipeline per worker, bound to the server's batching LM
+#: (or its resilience wrapper).  Anything with ``run(request) ->
+#: TAGResult`` qualifies — a TAGPipeline or a FallbackPipeline chain.
 PipelineFactory = Callable[[BatchingLM], TAGPipeline]
 
 
@@ -39,7 +52,8 @@ class ServeResult:
     index: int
     request: str
     result: TAGResult
-    #: Simulated LM seconds attributed to this request's responses.
+    #: Simulated LM seconds attributed to this request's responses,
+    #: fault burn and backoff sleeps included.
     et_seconds: float
     worker: int
     lm_calls: int
@@ -49,13 +63,18 @@ class ServeResult:
     def ok(self) -> bool:
         return self.result.ok
 
+    @property
+    def degraded(self) -> bool:
+        return self.result.degraded
+
 
 @dataclass
 class ServeReport:
     """All results of one :meth:`TagServer.serve` run."""
 
     results: list[ServeResult]
-    #: Virtual-clock makespan of the run (simulated accelerator time).
+    #: Virtual-clock makespan of the run (simulated accelerator time,
+    #: plus any simulated backoff waits the resilience layer added).
     simulated_seconds: float
     #: LM usage accumulated by the run (snapshot delta).
     usage: Usage
@@ -73,6 +92,48 @@ class ServeReport:
             return float("inf") if self.results else 0.0
         return len(self.results) / self.simulated_seconds
 
+    # ------------------------------------------------------------------
+    # availability accounting (serving under failure)
+    # ------------------------------------------------------------------
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that got an answer (degraded counts)."""
+        if not self.results:
+            return 1.0
+        return sum(r.ok for r in self.results) / len(self.results)
+
+    @property
+    def degraded_count(self) -> int:
+        """Answered requests that fell back past the primary tier."""
+        return sum(r.ok and r.degraded for r in self.results)
+
+    @property
+    def goodput_rps(self) -> float:
+        """Simulated *answered* requests per second."""
+        if self.simulated_seconds == 0.0:
+            return float("inf") if self.errors != self.results else 0.0
+        return (
+            sum(r.ok for r in self.results) / self.simulated_seconds
+        )
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Per-request simulated-latency percentile (nearest-rank).
+
+        Deterministic — no interpolation, so artifact bytes never
+        depend on float formatting of midpoints.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        if not self.results:
+            return 0.0
+        ordered = sorted(r.et_seconds for r in self.results)
+        # Integer ceil on a per-myriad scale dodges float artefacts
+        # like 0.95 * 20 == 19.000000000000004.
+        permyriad = round(quantile * 10_000)
+        rank = -(-permyriad * len(ordered) // 10_000) - 1
+        return ordered[max(0, min(rank, len(ordered) - 1))]
+
     def answers(self) -> list[object]:
         return [r.result.answer for r in self.results]
 
@@ -87,6 +148,8 @@ class TagServer:
         workers: int = 4,
         window: int = 8,
         cache_size: int = 0,
+        fault_plan: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -97,6 +160,8 @@ class TagServer:
         self.workers = workers
         self.window = window
         self.cache_size = cache_size
+        self.fault_plan = fault_plan
+        self.resilience = resilience
 
     def serve(self, requests: list[str]) -> ServeReport:
         """Run every request; never raises for a single request's failure.
@@ -105,15 +170,23 @@ class TagServer:
         ``TAGResult.error``; anything escaping anyway (a crashing
         pipeline *factory*, a bug in a custom step's attribute access
         outside ``run``) is caught per worker so one bad pipeline
-        cannot take down the run.
+        cannot take down the run.  A worker dying on anything harsher —
+        a ``BaseException`` that is not an ``Exception``, or a bug in
+        the serving bookkeeping itself — is *not* swallowed: the
+        failure is captured, every worker is joined, and the exception
+        re-raises here rather than silently short-counting results.
         """
         clock = VirtualClock()
+        model = self._inner
+        if self.fault_plan is not None:
+            model = FaultyLM(model, self.fault_plan)
         batching = BatchingLM(
-            self._inner,
+            model,
             window=self.window,
             cache_size=self.cache_size,
             clock=clock,
         )
+        meter_lock = threading.Lock()
         before = self._inner.usage.snapshot()
         assignments = [
             (worker, list(range(worker, len(requests), self.workers)))
@@ -126,6 +199,7 @@ class TagServer:
             for worker, _ in assignments
         }
         results: list[ServeResult | None] = [None] * len(requests)
+        fatal: list[BaseException] = []
         threads = [
             threading.Thread(
                 target=self._run_worker,
@@ -136,6 +210,9 @@ class TagServer:
                     indices,
                     requests,
                     results,
+                    clock,
+                    meter_lock,
+                    fatal,
                 ),
                 name=f"tag-worker-{worker}",
             )
@@ -145,12 +222,38 @@ class TagServer:
             thread.start()
         for thread in threads:
             thread.join()
+        if fatal:
+            raise fatal[0]
         return ServeReport(
             results=[result for result in results if result is not None],
             simulated_seconds=clock.now(),
             usage=self._inner.usage.since(before),
             workers=self.workers,
             window=self.window,
+        )
+
+    def _worker_lm(
+        self,
+        batching: BatchingLM,
+        session: Session,
+        clock: VirtualClock,
+        meter_lock: threading.Lock,
+    ):
+        """The LM a worker's pipeline talks to.
+
+        The resilience wrapper is per worker: its circuit breaker runs
+        on a private timeline fed by this worker's own consumption, so
+        breaker transitions are a pure function of the worker's call
+        sequence — never of how the OS interleaved the other workers.
+        """
+        if self.resilience is None:
+            return batching
+        return ResilientLM(
+            batching,
+            self.resilience,
+            clock=clock,
+            session=session,
+            meter_lock=meter_lock,
         )
 
     def _run_worker(
@@ -161,40 +264,53 @@ class TagServer:
         indices: list[int],
         requests: list[str],
         results: list[ServeResult | None],
+        clock: VirtualClock,
+        meter_lock: threading.Lock,
+        fatal: list[BaseException],
     ) -> None:
-        with session:
-            try:
-                pipeline = self._factory(batching)
-            except Exception as exc:  # noqa: BLE001 - fail requests, not the run
+        try:
+            with session:
+                try:
+                    pipeline = self._factory(
+                        self._worker_lm(batching, session, clock, meter_lock)
+                    )
+                except Exception as exc:  # noqa: BLE001 - fail requests, not the run
+                    for index in indices:
+                        results[index] = ServeResult(
+                            index=index,
+                            request=requests[index],
+                            result=TAGResult(
+                                request=requests[index],
+                                error=TAGError.from_exception(exc),
+                            ),
+                            et_seconds=0.0,
+                            worker=worker,
+                            lm_calls=0,
+                            cache_hits=0,
+                        )
+                    return
                 for index in indices:
+                    seconds = session.consumed_seconds
+                    calls = session.lm_calls
+                    hits = session.cache_hits
+                    try:
+                        outcome = pipeline.run(requests[index])
+                    except Exception as exc:  # noqa: BLE001 - worker must survive
+                        outcome = TAGResult(
+                            request=requests[index],
+                            error=TAGError.from_exception(exc),
+                        )
                     results[index] = ServeResult(
                         index=index,
                         request=requests[index],
-                        result=TAGResult(
-                            request=requests[index], error=exc
-                        ),
-                        et_seconds=0.0,
+                        result=outcome,
+                        et_seconds=session.consumed_seconds - seconds,
                         worker=worker,
-                        lm_calls=0,
-                        cache_hits=0,
+                        lm_calls=session.lm_calls - calls,
+                        cache_hits=session.cache_hits - hits,
                     )
-                return
-            for index in indices:
-                seconds = session.consumed_seconds
-                calls = session.lm_calls
-                hits = session.cache_hits
-                try:
-                    outcome = pipeline.run(requests[index])
-                except Exception as exc:  # noqa: BLE001 - worker must survive
-                    outcome = TAGResult(
-                        request=requests[index], error=exc
-                    )
-                results[index] = ServeResult(
-                    index=index,
-                    request=requests[index],
-                    result=outcome,
-                    et_seconds=session.consumed_seconds - seconds,
-                    worker=worker,
-                    lm_calls=session.lm_calls - calls,
-                    cache_hits=session.cache_hits - hits,
-                )
+        except BaseException as exc:  # noqa: BLE001 - surfaced by serve()
+            # The session context manager has already closed the
+            # session (so no other worker deadlocks on the flush
+            # barrier); record the failure for serve() to re-raise.
+            fatal.append(exc)

@@ -1,0 +1,74 @@
+"""Unit tests for FallbackPipeline: graceful degradation chains."""
+
+import pytest
+
+from repro.core import (
+    FallbackPipeline,
+    FixedQuerySynthesizer,
+    NoGenerator,
+    SQLExecutor,
+    TAGPipeline,
+)
+
+GOOD_SQL = "SELECT title FROM movies WHERE revenue > 1000"
+BAD_SQL = "SELECT broken FROM nowhere"
+
+
+def tier(movies_db, sql) -> TAGPipeline:
+    return TAGPipeline(
+        FixedQuerySynthesizer(sql), SQLExecutor(movies_db), NoGenerator()
+    )
+
+
+class TestFallbackPipeline:
+    def test_primary_success_is_not_degraded(self, movies_db):
+        chain = FallbackPipeline(
+            [
+                ("primary", tier(movies_db, GOOD_SQL)),
+                ("fallback", tier(movies_db, GOOD_SQL)),
+            ]
+        )
+        result = chain.run("Which movies grossed over a billion?")
+        assert result.ok
+        assert result.method == "primary"
+        assert not result.degraded
+        assert result.fallbacks == []
+
+    def test_degrades_to_next_tier(self, movies_db):
+        chain = FallbackPipeline(
+            [
+                ("primary", tier(movies_db, BAD_SQL)),
+                ("fallback", tier(movies_db, GOOD_SQL)),
+            ]
+        )
+        result = chain.run("anything")
+        assert result.ok
+        assert result.method == "fallback"
+        assert result.degraded
+        assert [a.method for a in result.fallbacks] == ["primary"]
+        assert result.fallbacks[0].error.step_name == "execution"
+
+    def test_all_tiers_fail_returns_structured_refusal(self, movies_db):
+        chain = FallbackPipeline(
+            [
+                ("a", tier(movies_db, BAD_SQL)),
+                ("b", tier(movies_db, BAD_SQL)),
+            ]
+        )
+        result = chain.run("anything")
+        assert not result.ok
+        assert result.method == "b"
+        assert result.degraded
+        assert result.error is not None
+        assert [a.method for a in result.fallbacks] == ["a"]
+
+    def test_validates_tiers(self, movies_db):
+        with pytest.raises(ValueError):
+            FallbackPipeline([])
+        with pytest.raises(ValueError):
+            FallbackPipeline(
+                [
+                    ("same", tier(movies_db, GOOD_SQL)),
+                    ("same", tier(movies_db, GOOD_SQL)),
+                ]
+            )

@@ -41,7 +41,9 @@ class TestTAGPipeline:
         )
         result = pipeline.run("anything")
         assert not result.ok
-        assert isinstance(result.error, ReproError)
+        assert isinstance(result.error.exception, ReproError)
+        assert result.error.kind == type(result.error.exception).__name__
+        assert result.error.step_name == "execution"
         assert result.answer is None
 
     def test_non_repro_errors_also_captured(self, movies_db):
@@ -63,7 +65,9 @@ class TestTAGPipeline:
         )
         result = pipeline.run("anything")
         assert not result.ok
-        assert isinstance(result.error, ValueError)
+        assert result.error.kind == "ValueError"
+        assert isinstance(result.error.exception, ValueError)
+        assert result.error.step_name == "generation"
         assert result.table  # earlier steps' progress is preserved
         assert result.answer is None
 

@@ -196,7 +196,8 @@ class TestWorkerSurvival:
         assert len(report.results) == 6
         assert all(not r.ok for r in report.results)
         assert all(
-            isinstance(r.result.error, ValueError)
+            r.result.error.kind == "ValueError"
+            and r.result.error.step_name == "generation"
             for r in report.results
         )
 
@@ -240,6 +241,104 @@ class TestWorkerSurvival:
         failed = [r for r in report.results if not r.ok]
         assert {r.worker for r in failed} == {0}
         assert all(
-            isinstance(r.result.error, RuntimeError) for r in failed
+            r.result.error.kind == "RuntimeError"
+            and r.result.error.step is None
+            for r in failed
         )
         assert len([r for r in report.results if r.ok]) == 4
+
+
+class _Fatal(BaseException):
+    """Harsher than Exception: simulates a dying worker, not a bad step."""
+
+
+class TestFatalWorkerSurfacing:
+    def test_fatal_exception_reraises_instead_of_hanging(
+        self, movie_dataset
+    ):
+        """A worker dying on a BaseException must surface from serve(),
+        not hang the barrier or silently short-count results."""
+
+        class DyingGenerator:
+            def generate(self, request, table):
+                raise _Fatal("worker killed")
+
+        def factory(lm) -> TAGPipeline:
+            return TAGPipeline(
+                FixedQuerySynthesizer(ROMANCE_SQL),
+                SQLExecutor(movie_dataset.db),
+                DyingGenerator(),
+            )
+
+        server = TagServer(
+            factory, SimulatedLM(LMConfig(seed=0)), workers=3, window=2
+        )
+        with pytest.raises(_Fatal):
+            server.serve(requests(6))
+
+
+class TestServeReportAccounting:
+    def _report(self, et_seconds, ok_flags=None, degraded_flags=None):
+        from repro.core import TAGError
+        from repro.core.tag import TAGResult
+        from repro.lm.usage import Usage
+        from repro.serve import ServeReport, ServeResult
+
+        count = len(et_seconds)
+        ok_flags = ok_flags or [True] * count
+        degraded_flags = degraded_flags or [False] * count
+        results = []
+        for index, (seconds, ok, degraded) in enumerate(
+            zip(et_seconds, ok_flags, degraded_flags)
+        ):
+            result = TAGResult(
+                request=f"q{index}",
+                answer="a" if ok else None,
+                error=None if ok else TAGError("X", "boom"),
+                degraded=degraded,
+            )
+            results.append(
+                ServeResult(
+                    index=index,
+                    request=f"q{index}",
+                    result=result,
+                    et_seconds=seconds,
+                    worker=0,
+                    lm_calls=1,
+                    cache_hits=0,
+                )
+            )
+        return ServeReport(
+            results=results,
+            simulated_seconds=sum(et_seconds),
+            usage=Usage(),
+            workers=1,
+            window=1,
+        )
+
+    def test_availability_and_goodput(self):
+        report = self._report(
+            [1.0, 1.0, 1.0, 1.0],
+            ok_flags=[True, True, False, True],
+            degraded_flags=[False, True, False, False],
+        )
+        assert report.availability == 0.75
+        assert report.degraded_count == 1
+        assert report.goodput_rps == pytest.approx(3 / 4.0)
+        assert report.throughput_rps == pytest.approx(4 / 4.0)
+
+    def test_empty_report_is_fully_available(self):
+        report = self._report([])
+        assert report.availability == 1.0
+        assert report.degraded_count == 0
+        assert report.latency_percentile(0.95) == 0.0
+
+    def test_latency_percentiles_nearest_rank(self):
+        report = self._report([float(v) for v in range(1, 21)])
+        assert report.latency_percentile(0.50) == 10.0
+        assert report.latency_percentile(0.95) == 19.0
+        assert report.latency_percentile(1.00) == 20.0
+        with pytest.raises(ValueError):
+            report.latency_percentile(0.0)
+        with pytest.raises(ValueError):
+            report.latency_percentile(1.5)

@@ -77,3 +77,44 @@ class TestBenchCommand:
         assert main(["bench", "--max-queries", "2"]) == 0
         output = capsys.readouterr().out
         assert "Table 1" in output and "Table 2" in output
+
+
+class TestServe:
+    def test_healthy_serve(self, capsys):
+        assert (
+            main(["serve", "--requests", "4", "--fault-rate", "0"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "availability" in output
+        assert "100.00%" in output
+        assert "served 4 requests" in output
+
+    def test_faulty_serve_with_fallback_stays_available(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "6",
+                    "--fault-rate", "0.4",
+                    "--retries", "2",
+                ]
+            )
+            == 0
+        )
+        assert "100.00%" in capsys.readouterr().out
+
+    def test_unguarded_faulty_serve_exits_nonzero(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "6",
+                    "--fault-rate", "0.4",
+                    "--retries", "0",
+                    "--no-fallback",
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "FAILED" in output
