@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke verify
+.PHONY: test bench bench-smoke lint analyze-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,7 +12,19 @@ bench:
 bench-smoke:
 	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py -q
 
-# The pre-merge gate: the full tier-1 suite plus a smoke-mode pass of
-# the resilience benchmark (fault injection, retries, fallback).
-verify: test bench-smoke
+# Determinism linter over src/ (see repro.analysis.lint); exits
+# nonzero on any unsuppressed finding.
+lint:
+	$(PYTHON) -m repro lint
+
+# The static analyzer must accept a known-good query and reject a
+# known-bad one, end to end through the CLI.
+analyze-smoke:
+	$(PYTHON) -m repro analyze "SELECT name FROM circuits LIMIT 3" --db formula_1
+	! $(PYTHON) -m repro analyze "SELECT nope FROM circuits" --db formula_1
+
+# The pre-merge gate: full tier-1 suite, a smoke-mode pass of the
+# resilience benchmark, a clean determinism-lint baseline, and an
+# analyzer round-trip through the CLI.
+verify: test bench-smoke lint analyze-smoke
 	@echo "verify: OK"

@@ -1,0 +1,22 @@
+"""Cost-model constants for the static LM-cost estimator.
+
+The analyzer multiplies its bound on expensive-UDF call sites by these
+per-call constants to turn "at most N LM invocations" into an estimated
+token budget.  The defaults match the simulated LM's typical TAG-UDF
+shape (a short per-row classification prompt and a one-phrase answer);
+servers with different prompt templates pass their own model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-call token constants used by :class:`~repro.analysis.SQLAnalyzer`."""
+
+    #: Prompt tokens charged per estimated LM-UDF invocation.
+    prompt_tokens_per_call: int = 48
+    #: Output tokens charged per estimated LM-UDF invocation.
+    output_tokens_per_call: int = 8

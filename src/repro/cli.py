@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
     python -m repro suite [--type T] [--capability C]
     python -m repro export <domain> <directory>
     python -m repro serve [--requests N] [--fault-rate R] [--retries N]
+    python -m repro analyze "<SELECT ...>" --db <domain>
+    python -m repro lint [--root DIR]
 """
 
 from __future__ import annotations
@@ -109,6 +111,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fallback",
         action="store_true",
         help="disable the degraded raw-table fallback tier",
+    )
+    serve.add_argument(
+        "--admit-budget",
+        type=int,
+        default=None,
+        help=(
+            "per-request LM-call admission budget; requests whose "
+            "estimated LM-UDF cost exceeds it are rejected pre-dispatch"
+        ),
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="statically analyze a SELECT against a domain's catalog",
+    )
+    analyze.add_argument("statement")
+    analyze.add_argument(
+        "--db",
+        dest="domain",
+        required=True,
+        choices=DOMAINS,
+        help="domain whose catalog the query is checked against",
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism linter over src/ (see repro.analysis.lint)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root containing src/ and pyproject.toml",
     )
 
     return parser
@@ -216,17 +251,33 @@ def _command_serve(args) -> int:
         "SELECT movie_title, review FROM movies "
         "WHERE genre = 'Romance' ORDER BY revenue DESC LIMIT 1"
     )
+    # A per-row LM UDF powers the admission-control demo: "deep scan"
+    # requests classify every review, so their estimated cost scales
+    # with the table instead of the single-row lookup above.
+    deep_sql = "SELECT movie_title, MOOD(review) FROM movies"
+    dataset.db.register_udf(
+        "MOOD",
+        lambda review: "positive" if "love" in str(review) else "mixed",
+        expensive=True,
+    )
+
+    def query_for(request: str) -> str:
+        return deep_sql if "deep scan" in request else sql
+
+    class _DemoSynthesizer:
+        def synthesize(self, request: str) -> str:
+            return query_for(request)
 
     def factory(lm):
         primary = TAGPipeline(
-            FixedQuerySynthesizer(sql),
+            _DemoSynthesizer(),
             SQLExecutor(dataset.db),
             SingleCallGenerator(lm, aggregation=True),
         )
         if args.no_fallback:
             return primary
         raw_table = TAGPipeline(
-            FixedQuerySynthesizer(sql),
+            _DemoSynthesizer(),
             SQLExecutor(dataset.db),
             NoGenerator(),
         )
@@ -241,6 +292,14 @@ def _command_serve(args) -> int:
             else None
         ),
     )
+    admission = None
+    if args.admit_budget is not None:
+        from repro.serve import AdmissionPolicy, SQLAdmissionEstimator
+
+        admission = AdmissionPolicy(
+            estimator=SQLAdmissionEstimator(dataset.db, query_for),
+            max_lm_calls=args.admit_budget,
+        )
     server = TagServer(
         factory,
         SimulatedLM(LMConfig(seed=args.seed)),
@@ -248,9 +307,14 @@ def _command_serve(args) -> int:
         window=args.window,
         fault_plan=FaultPlan.uniform(args.fault_rate, seed=args.seed),
         resilience=resilience,
+        admission=admission,
     )
     requests = [
-        f"Summarize the reviews of the top romance movie (#{index})"
+        (
+            f"Classify the mood of every review (deep scan #{index})"
+            if args.admit_budget is not None and index % 4 == 3
+            else f"Summarize the reviews of the top romance movie (#{index})"
+        )
         for index in range(args.requests)
     ]
     report = server.serve(requests)
@@ -277,9 +341,42 @@ def _command_serve(args) -> int:
         f"  trips/deadlines  "
         f"{usage.breaker_trips:8d} / {usage.deadline_exceeded}"
     )
+    if admission is not None:
+        print(f"  admission-rej    {report.admission_rejected:8d}")
     for result in report.errors:
         print(f"  FAILED #{result.index}: {result.result.error}")
-    return 0 if report.availability == 1.0 else 1
+    # Admission rejections are the budget working as intended; only
+    # failures among *dispatched* requests make the exit code nonzero.
+    dispatched_ok = all(
+        result.ok for result in report.results if result.worker >= 0
+    )
+    return 0 if dispatched_ok else 1
+
+
+def _command_analyze(args) -> int:
+    dataset = load_domain(args.domain, seed=args.seed)
+    report = dataset.db.analyze(args.statement)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _command_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import lint_tree
+
+    root = Path(args.root)
+    if not (root / "src").is_dir():
+        print(f"error: no src/ under {root}", file=sys.stderr)
+        return 2
+    reported, suppressed = lint_tree(root)
+    for finding in reported:
+        print(finding.render())
+    summary = f"lint: {len(reported)} finding(s)"
+    if suppressed:
+        summary += f", {len(suppressed)} suppressed via pyproject"
+    print(summary)
+    return 1 if reported else 0
 
 
 _COMMANDS = {
@@ -289,6 +386,8 @@ _COMMANDS = {
     "suite": _command_suite,
     "export": _command_export,
     "serve": _command_serve,
+    "analyze": _command_analyze,
+    "lint": _command_lint,
 }
 
 

@@ -15,12 +15,18 @@ from repro.vector.flat import FlatIndex
 class SQLExecutor:
     """exec over the relational engine: SQL text -> list of records."""
 
-    def __init__(self, db: Database, max_rows: int | None = None) -> None:
+    def __init__(
+        self,
+        db: Database,
+        max_rows: int | None = None,
+        analyze: bool = False,
+    ) -> None:
         self.db = db
         self.max_rows = max_rows
+        self.analyze = analyze
 
     def execute(self, query: str) -> list[dict[str, Any]]:
-        result = self.db.execute(query)
+        result = self.db.execute(query, analyze=self.analyze)
         rows = result.rows
         if self.max_rows is not None:
             rows = rows[: self.max_rows]

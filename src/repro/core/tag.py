@@ -36,6 +36,19 @@ class TAGError:
     def from_exception(
         cls, exception: Exception, step: int | None = None
     ) -> "TAGError":
+        from repro.errors import AnalysisError
+
+        if isinstance(exception, AnalysisError):
+            # Static analysis rejects the *synthesized* SQL, so the
+            # fault is pinned on step 0 (synthesis) regardless of where
+            # the pre-flight ran: the LM produced a query the catalog
+            # cannot satisfy.
+            return cls(
+                kind="analysis",
+                message=str(exception),
+                step=0,
+                exception=exception,
+            )
         return cls(
             kind=type(exception).__name__,
             message=str(exception),

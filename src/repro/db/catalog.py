@@ -14,7 +14,16 @@ from repro.db.schema import Column, ForeignKey, TableSchema
 from repro.db.sql import ast
 from repro.db.sql.parser import parse_statement
 from repro.db.table import Table
-from repro.errors import PlanningError, SchemaError
+from repro.errors import AnalysisError, PlanningError, SchemaError
+
+
+def _analysis_error(report) -> AnalysisError:
+    """Flatten a rejecting QueryReport into one AnalysisError."""
+    errors = report.errors
+    head = f"{errors[0].code}: {errors[0].message}"
+    if len(errors) > 1:
+        head += f" (+{len(errors) - 1} more)"
+    return AnalysisError(f"static analysis rejected query: {head}", report)
 
 
 class Database:
@@ -96,10 +105,23 @@ class Database:
     # SQL execution
     # ------------------------------------------------------------------
 
-    def execute(self, sql: str, optimize: bool = True) -> ResultSet:
-        """Parse and run one SQL statement."""
+    def execute(
+        self, sql: str, optimize: bool = True, analyze: bool = False
+    ) -> ResultSet:
+        """Parse and run one SQL statement.
+
+        With ``analyze=True``, SELECTs are pre-flighted through the
+        static analyzer and an :class:`~repro.errors.AnalysisError`
+        (carrying the full :class:`~repro.analysis.QueryReport`) is
+        raised before any plan is built when error-severity diagnostics
+        are found.
+        """
         statement = parse_statement(sql)
         if isinstance(statement, ast.Select):
+            if analyze:
+                report = self.analyze(statement, source=sql)
+                if not report.ok:
+                    raise _analysis_error(report)
             planner = Planner(self, self.functions, optimize=optimize)
             return planner.run_select(statement)
         if isinstance(statement, ast.CreateTable):
@@ -117,6 +139,17 @@ class Database:
         raise PlanningError(  # pragma: no cover - parser covers all cases
             f"unsupported statement {type(statement).__name__}"
         )
+
+    def analyze(self, sql: str | ast.Select, source: str = ""):
+        """Statically analyze a SELECT against this catalog.
+
+        Returns a :class:`repro.analysis.QueryReport` with diagnostics
+        and an LM-cost estimate; never raises for invalid SQL (syntax
+        errors become ``ANA001`` diagnostics).
+        """
+        from repro.analysis import SQLAnalyzer
+
+        return SQLAnalyzer(self).analyze(sql, source=source)
 
     def explain(self, sql: str, optimize: bool = True) -> str:
         """Render the physical plan for a SELECT (diagnostics/tests)."""

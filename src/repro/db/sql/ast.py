@@ -21,10 +21,17 @@ class Literal:
 
 @dataclass(frozen=True)
 class ColumnRef:
-    """A possibly-qualified column reference (``t.col`` or ``col``)."""
+    """A possibly-qualified column reference (``t.col`` or ``col``).
+
+    ``position`` is the character offset of the reference in the source
+    SQL, carried for analyzer diagnostics; it is excluded from equality
+    and hashing so two references to the same column compare equal no
+    matter where they appear (the planner relies on that).
+    """
 
     name: str
     table: str | None = None
+    position: int | None = field(default=None, compare=False)
 
     def display(self) -> str:
         if self.table:
@@ -37,6 +44,7 @@ class Star:
     """``*`` or ``t.*`` in a projection or inside COUNT(*)."""
 
     table: str | None = None
+    position: int | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,7 @@ class FunctionCall:
     args: tuple["Expression", ...]
     distinct: bool = False
     star: bool = False  # COUNT(*)
+    position: int | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -149,6 +158,7 @@ Expression = Union[
 class TableSource:
     name: str
     alias: str | None = None
+    position: int | None = field(default=None, compare=False)
 
     @property
     def binding(self) -> str:

@@ -349,13 +349,14 @@ class _Parser:
             source = self._parse_from()
             self._expect_punct(")")
             return source
+        position = self._current.position
         name = self._parse_identifier("table name")
         alias = None
         if self._accept_keyword("AS"):
             alias = self._parse_identifier("alias")
         elif self._current.type is TokenType.IDENTIFIER:
             alias = self._advance().text
-        return ast.TableSource(name, alias)
+        return ast.TableSource(name, alias, position=position)
 
     def _parse_identifier(self, what: str) -> str:
         token = self._current
@@ -514,40 +515,47 @@ class _Parser:
             self._expect_punct(")")
             return expression
         if self._check_operator("*"):
-            self._advance()
-            return ast.Star()
+            position = self._advance().position
+            return ast.Star(position=position)
         if token.type is TokenType.IDENTIFIER:
             return self._parse_identifier_expression()
         self._fail("expected an expression")
         raise AssertionError  # pragma: no cover
 
     def _parse_identifier_expression(self) -> ast.Expression:
-        name = self._advance().text
+        token = self._advance()
+        name = token.text
         if self._check_punct("("):
-            return self._parse_function_call(name)
+            return self._parse_function_call(name, token.position)
         if self._accept_punct("."):
             if self._check_operator("*"):
                 self._advance()
-                return ast.Star(table=name)
+                return ast.Star(table=name, position=token.position)
             column = self._parse_identifier("column name")
-            return ast.ColumnRef(column, table=name)
-        return ast.ColumnRef(name)
+            return ast.ColumnRef(
+                column, table=name, position=token.position
+            )
+        return ast.ColumnRef(name, position=token.position)
 
-    def _parse_function_call(self, name: str) -> ast.FunctionCall:
+    def _parse_function_call(
+        self, name: str, position: int | None = None
+    ) -> ast.FunctionCall:
         self._expect_punct("(")
         upper = name.upper()
         if self._check_operator("*"):
             self._advance()
             self._expect_punct(")")
-            return ast.FunctionCall(upper, (), star=True)
+            return ast.FunctionCall(upper, (), star=True, position=position)
         if self._accept_punct(")"):
-            return ast.FunctionCall(upper, ())
+            return ast.FunctionCall(upper, (), position=position)
         distinct = self._accept_keyword("DISTINCT")
         args = [self.parse_expression()]
         while self._accept_punct(","):
             args.append(self.parse_expression())
         self._expect_punct(")")
-        return ast.FunctionCall(upper, tuple(args), distinct=distinct)
+        return ast.FunctionCall(
+            upper, tuple(args), distinct=distinct, position=position
+        )
 
     def _parse_case(self) -> ast.CaseExpression:
         self._expect_keyword("CASE")

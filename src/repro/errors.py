@@ -50,6 +50,21 @@ class SchemaError(DatabaseError):
     """Invalid schema definition or a constraint violation on write."""
 
 
+class AnalysisError(DatabaseError):
+    """Static analysis rejected the query before planning.
+
+    Carries the full :class:`repro.analysis.QueryReport` so callers can
+    surface individual diagnostics (and their source spans) instead of
+    one flattened message.  Raised by ``Database.execute(analyze=True)``
+    and mapped to a ``TAGError`` of kind ``"analysis"`` at step 0 by the
+    TAG pipeline.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 # --------------------------------------------------------------------------
 # Simulated language model errors
 # --------------------------------------------------------------------------

@@ -45,7 +45,7 @@ class Text2SQLMethod(Method):
             LMQuerySynthesizer(
                 self.lm, dataset, external_knowledge=knowledge
             ),
-            SQLExecutor(dataset.db),
+            SQLExecutor(dataset.db, analyze=True),
             NoGenerator(),
         )
         result = pipeline.run(spec.question)

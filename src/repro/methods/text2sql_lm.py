@@ -28,7 +28,7 @@ class Text2SQLLMMethod(Method):
             self.lm, dataset, retrieval_mode=True
         )
         sql = synthesizer.synthesize(spec.question)
-        executor = SQLExecutor(dataset.db)
+        executor = SQLExecutor(dataset.db, analyze=True)
         table = executor.execute(sql)
         self.extra_cost(SQL_EXECUTION_COST_S)
         generator = SingleCallGenerator(

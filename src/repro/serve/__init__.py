@@ -5,9 +5,16 @@ Turns the library's single-pipeline core into a deployment: a
 worker pool, their LM calls coalesced into micro-batches by a
 :class:`BatchingLM` facade (with an optional LRU prompt cache), and all
 latency accounted on a deterministic :class:`VirtualClock` so measured
-throughput is machine-independent and exactly reproducible.
+throughput is machine-independent and exactly reproducible.  An
+optional :class:`AdmissionPolicy` turns the static analyzer's LM-cost
+bound into pre-dispatch admission control.
 """
 
+from repro.serve.admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    SQLAdmissionEstimator,
+)
 from repro.serve.batching import BatchingLM, Session
 from repro.serve.cache import LRUCache
 from repro.serve.clock import VirtualClock
@@ -26,6 +33,8 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "BatchingLM",
     "BreakerPolicy",
     "CircuitBreaker",
@@ -34,6 +43,7 @@ __all__ = [
     "ResiliencePolicy",
     "ResilientLM",
     "RetryPolicy",
+    "SQLAdmissionEstimator",
     "ServeReport",
     "ServeResult",
     "Session",

@@ -1,0 +1,145 @@
+"""Deterministic LM-cost admission control for the serving layer.
+
+Before a request is dispatched to any worker, the server can ask an
+:class:`AdmissionPolicy` whether to serve it at all.  The policy runs
+the static analyzer's :class:`~repro.analysis.CostEstimate` against a
+configurable budget: a request whose SQL could trigger more LM-UDF
+invocations than the budget allows is rejected *up front* — before a
+single model call — instead of grinding the accelerator through
+thousands of per-row LM calls (the failure mode TAG's LM-in-``exec``
+design makes possible, paper §3).
+
+Determinism: decisions are a pure function of the request text, the
+catalog, and the budget.  They are computed sequentially on the serve
+thread before workers are assigned, so the accept/reject set is
+byte-identical at any worker count — property-tested in
+``tests/serve/test_admission.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.analysis import QueryReport
+from repro.core.tag import TAGError
+
+#: Maps a request string to the analyzer's report for the SQL it will
+#: execute, or None when the request is not SQL-bound (always admitted).
+AdmissionEstimator = Callable[[str], "QueryReport | None"]
+
+
+class _QueryFor(Protocol):  # pragma: no cover - typing only
+    def __call__(self, request: str) -> str | None: ...
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admit: bool
+    #: Human-readable reason when rejected.
+    reason: str | None = None
+    #: The analyzer report backing the decision (None when the
+    #: estimator abstained).
+    report: QueryReport | None = None
+
+    def to_error(self) -> TAGError:
+        """The structured error recorded for a rejected request.
+
+        Analysis rejections (broken SQL) carry kind ``"analysis"`` at
+        step 0 like every other analyzer failure; budget rejections are
+        kind ``"admission"`` with no step — the pipeline never ran.
+        """
+        assert not self.admit and self.reason is not None
+        if self.report is not None and not self.report.ok:
+            return TAGError(
+                kind="analysis", message=self.reason, step=0
+            )
+        return TAGError(kind="admission", message=self.reason, step=None)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Budget-based admission: bound the LM cost any request may incur.
+
+    ``estimator`` maps request text to a :class:`QueryReport` (see
+    :class:`SQLAdmissionEstimator` for the standard SQL-bound one);
+    requests it abstains on (returns None) are always admitted.
+    """
+
+    estimator: AdmissionEstimator
+    #: Per-request ceiling on estimated LM-UDF invocations.
+    max_lm_calls: int
+    #: Optional per-request ceiling on total estimated LM tokens.
+    max_lm_tokens: int | None = None
+    #: When True (default), requests whose SQL fails static analysis
+    #: are rejected outright — they could only fail later and louder.
+    reject_invalid: bool = True
+
+    def decide(self, request: str) -> AdmissionDecision:
+        report = self.estimator(request)
+        if report is None:
+            return AdmissionDecision(admit=True)
+        if not report.ok:
+            if not self.reject_invalid:
+                return AdmissionDecision(admit=True, report=report)
+            first = report.errors[0]
+            return AdmissionDecision(
+                admit=False,
+                reason=(
+                    "static analysis rejected query "
+                    f"({first.code}: {first.message})"
+                ),
+                report=report,
+            )
+        cost = report.cost
+        if cost is not None and cost.lm_calls > self.max_lm_calls:
+            return AdmissionDecision(
+                admit=False,
+                reason=(
+                    f"estimated {cost.lm_calls} LM calls exceeds "
+                    f"admission budget {self.max_lm_calls}"
+                ),
+                report=report,
+            )
+        if (
+            cost is not None
+            and self.max_lm_tokens is not None
+            and cost.lm_tokens > self.max_lm_tokens
+        ):
+            return AdmissionDecision(
+                admit=False,
+                reason=(
+                    f"estimated {cost.lm_tokens} LM tokens exceeds "
+                    f"admission budget {self.max_lm_tokens}"
+                ),
+                report=report,
+            )
+        return AdmissionDecision(admit=True, report=report)
+
+
+class SQLAdmissionEstimator:
+    """The standard estimator: request -> SQL -> analyzer report.
+
+    ``query_for`` maps a request to the SQL it will execute (for the
+    demo server that is the fixed synthesizer's query; a production
+    deployment would use its template or a cached synthesis).  Return
+    None to abstain — the request is then admitted unconditionally.
+    """
+
+    def __init__(
+        self,
+        db,
+        query_for: _QueryFor,
+    ) -> None:
+        from repro.analysis import SQLAnalyzer
+
+        self._analyzer = SQLAnalyzer(db)
+        self._query_for = query_for
+
+    def __call__(self, request: str) -> QueryReport | None:
+        sql = self._query_for(request)
+        if sql is None:
+            return None
+        return self._analyzer.analyze(sql)

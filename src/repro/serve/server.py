@@ -35,6 +35,7 @@ from repro.core.tag import TAGError, TAGPipeline, TAGResult
 from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.model import SimulatedLM
 from repro.lm.usage import Usage
+from repro.serve.admission import AdmissionPolicy
 from repro.serve.batching import BatchingLM, Session
 from repro.serve.clock import VirtualClock
 from repro.serve.resilience import ResiliencePolicy, ResilientLM
@@ -80,6 +81,9 @@ class ServeReport:
     usage: Usage
     workers: int
     window: int
+    #: Requests admission control turned away before dispatch (they
+    #: still appear in ``results``, with ``worker == -1``).
+    admission_rejected: int = 0
     errors: list[ServeResult] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -150,6 +154,7 @@ class TagServer:
         cache_size: int = 0,
         fault_plan: FaultPlan | None = None,
         resilience: ResiliencePolicy | None = None,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -162,6 +167,7 @@ class TagServer:
         self.cache_size = cache_size
         self.fault_plan = fault_plan
         self.resilience = resilience
+        self.admission = admission
 
     def serve(self, requests: list[str]) -> ServeReport:
         """Run every request; never raises for a single request's failure.
@@ -188,9 +194,36 @@ class TagServer:
         )
         meter_lock = threading.Lock()
         before = self._inner.usage.snapshot()
+        results: list[ServeResult | None] = [None] * len(requests)
+        # Admission runs sequentially on this thread, before workers
+        # exist: the accept/reject set is a pure function of the
+        # request stream and the budget, never of the worker count.
+        admitted = list(range(len(requests)))
+        rejected = 0
+        if self.admission is not None:
+            admitted = []
+            for index, request in enumerate(requests):
+                decision = self.admission.decide(request)
+                if decision.admit:
+                    admitted.append(index)
+                    continue
+                rejected += 1
+                results[index] = ServeResult(
+                    index=index,
+                    request=request,
+                    result=TAGResult(
+                        request=request, error=decision.to_error()
+                    ),
+                    et_seconds=0.0,
+                    worker=-1,
+                    lm_calls=0,
+                    cache_hits=0,
+                )
+        # Round-robin over the *admitted* stream: worker i serves the
+        # i-th, (i+W)-th, ... admitted requests.
         assignments = [
-            (worker, list(range(worker, len(requests), self.workers)))
-            for worker in range(min(self.workers, len(requests)))
+            (worker, admitted[worker :: self.workers])
+            for worker in range(min(self.workers, len(admitted)))
         ]
         # Register every worker before any thread runs: the flush
         # barrier must know the full session population up front.
@@ -198,7 +231,6 @@ class TagServer:
             worker: batching.open_session(order=worker)
             for worker, _ in assignments
         }
-        results: list[ServeResult | None] = [None] * len(requests)
         fatal: list[BaseException] = []
         threads = [
             threading.Thread(
@@ -230,6 +262,7 @@ class TagServer:
             usage=self._inner.usage.since(before),
             workers=self.workers,
             window=self.window,
+            admission_rejected=rejected,
         )
 
     def _worker_lm(

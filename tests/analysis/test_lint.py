@@ -1,0 +1,194 @@
+"""Tests for the determinism linter (repro.analysis.lint)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_file, lint_tree
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _write(root: Path, relative: str, body: str) -> Path:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+def _codes(findings) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+class TestRules:
+    def test_wall_clock_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET101", "DET101"]
+
+    def test_clock_module_exempt_from_wall_clock(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/serve/clock.py",
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_unseeded_random_flagged_seeded_allowed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            import random
+
+            def roll():
+                rng = random.Random(7)   # fine: explicit seed
+                return rng.random() + random.random()
+            """,
+        )
+        findings = lint_file(path, tmp_path)
+        assert _codes(findings) == ["DET102"]
+        assert "random.random()" in findings[0].message
+
+    def test_numpy_global_random_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            import numpy as np
+
+            def roll():
+                ok = np.random.default_rng(3)  # fine: explicit seed
+                return ok, np.random.random()
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET102"]
+
+    def test_bare_except_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            def swallow():
+                try:
+                    return 1
+                except:
+                    return 2
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET103"]
+
+    def test_mutable_default_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            def collect(xs=[], *, index={}):
+                return xs, index
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET104", "DET104"]
+
+    def test_locked_helper_outside_lock_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            class Server:
+                def tick(self):
+                    self._drain_locked()
+
+                def safe(self):
+                    with self._lock:
+                        self._drain_locked()
+
+                def _drain_locked(self):
+                    self._advance_locked()  # locked helper: in contract
+
+                def _advance_locked(self):
+                    pass
+            """,
+        )
+        findings = lint_file(path, tmp_path)
+        assert _codes(findings) == ["DET105"]
+        assert findings[0].line == 4  # the call inside tick()
+
+    def test_clean_file_no_findings(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            import random
+
+            def roll(seed, xs=None):
+                rng = random.Random(seed)
+                try:
+                    return rng.choice(xs or [1])
+                except IndexError:
+                    return None
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+
+class TestAllowlist:
+    def test_pyproject_entry_suppresses(self, tmp_path):
+        _write(
+            tmp_path,
+            "pyproject.toml",
+            """
+            [tool.repro.lint]
+            allow = [
+                "src/m.py:DET103  # legacy shim, scheduled for removal",
+            ]
+            """,
+        )
+        _write(
+            tmp_path,
+            "src/m.py",
+            """
+            def swallow(xs=[]):
+                try:
+                    return xs
+                except:
+                    return None
+            """,
+        )
+        reported, suppressed = lint_tree(tmp_path)
+        assert _codes(reported) == ["DET104"]
+        assert _codes(suppressed) == ["DET103"]
+
+    def test_deterministic_ordering(self, tmp_path):
+        _write(tmp_path, "src/b.py", "def f(x=[]):\n    return x\n")
+        _write(tmp_path, "src/a.py", "def g(y={}):\n    return y\n")
+        first, _ = lint_tree(tmp_path)
+        second, _ = lint_tree(tmp_path)
+        assert first == second
+        assert [f.path for f in first] == ["src/a.py", "src/b.py"]
+
+
+class TestRepositoryBaseline:
+    @pytest.mark.skipif(
+        not (REPO_ROOT / "src" / "repro").is_dir(),
+        reason="repository layout not available",
+    )
+    def test_src_is_clean(self):
+        reported, _ = lint_tree(REPO_ROOT)
+        assert reported == [], "\n".join(f.render() for f in reported)

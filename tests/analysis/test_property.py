@@ -1,0 +1,173 @@
+"""The analyzer's soundness contract, property-tested.
+
+Invariant: if :class:`~repro.analysis.SQLAnalyzer` reports no
+error-severity diagnostics for a generated SELECT, the engine must
+plan and execute it without raising — on every bundled BIRD-style
+domain.  The generator covers projections, scalar functions,
+arithmetic, WHERE predicates (comparisons, LIKE, BETWEEN, IS NULL,
+IN-list), grouped and ungrouped aggregation, HAVING, ORDER BY (ordinal
+and expression), LIMIT/OFFSET, and inner joins.
+
+SQRT is deliberately excluded: a negative argument is a *data*-
+dependent domain error no static analyzer can rule out from the
+catalog alone (the documented soundness caveat).
+
+The run also checks the cost bound: actual result rows never exceed
+``cost.result_rows``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SQLAnalyzer
+from repro.data import DOMAINS, load_domain
+from repro.db.types import DataType
+from repro.errors import ReproError
+
+
+@lru_cache(maxsize=None)
+def _domain(name: str):
+    dataset = load_domain(name, seed=0)
+    return dataset.db, SQLAnalyzer(dataset.db)
+
+
+def _columns(db, table, *dtypes):
+    return [
+        column.name
+        for column in db.table(table).schema.columns
+        if not dtypes or column.dtype in dtypes
+    ]
+
+
+def _quote(name: str) -> str:
+    return f'"{name}"' if " " in name else name
+
+
+@st.composite
+def selects(draw):
+    """A random SELECT over a random bundled domain.  Returns
+    (domain, sql)."""
+    domain = draw(st.sampled_from(sorted(DOMAINS)))
+    db, _ = _domain(domain)
+    table = draw(st.sampled_from(sorted(db.table_names)))
+    numeric = _columns(db, table, DataType.INTEGER, DataType.REAL)
+    text = _columns(db, table, DataType.TEXT)
+    everything = _columns(db, table)
+
+    def scalar_expression() -> str:
+        choice = draw(st.integers(0, 4))
+        if choice == 0 and numeric:
+            column = _quote(draw(st.sampled_from(numeric)))
+            op = draw(st.sampled_from(["+", "-", "*"]))
+            return f"{column} {op} {draw(st.integers(-3, 3))}"
+        if choice == 1 and numeric:
+            fn = draw(st.sampled_from(["ABS", "SIGN", "ROUND"]))
+            return f"{fn}({_quote(draw(st.sampled_from(numeric)))})"
+        if choice == 2 and text:
+            fn = draw(st.sampled_from(["UPPER", "LOWER", "LENGTH", "TRIM"]))
+            return f"{fn}({_quote(draw(st.sampled_from(text)))})"
+        if choice == 3:
+            column = _quote(draw(st.sampled_from(everything)))
+            return f"COALESCE({column}, {column})"
+        return _quote(draw(st.sampled_from(everything)))
+
+    def predicate() -> str:
+        choice = draw(st.integers(0, 4))
+        if choice == 0 and numeric:
+            column = _quote(draw(st.sampled_from(numeric)))
+            op = draw(st.sampled_from(["<", "<=", "=", "<>", ">", ">="]))
+            return f"{column} {op} {draw(st.integers(-10, 10))}"
+        if choice == 1 and text:
+            column = _quote(draw(st.sampled_from(text)))
+            return f"{column} LIKE '%{draw(st.sampled_from('aeio'))}%'"
+        if choice == 2 and numeric:
+            column = _quote(draw(st.sampled_from(numeric)))
+            low = draw(st.integers(-5, 5))
+            return f"{column} BETWEEN {low} AND {low + 5}"
+        if choice == 3:
+            column = _quote(draw(st.sampled_from(everything)))
+            maybe_not = "NOT " if draw(st.booleans()) else ""
+            return f"{column} IS {maybe_not}NULL"
+        if numeric:
+            return f"{_quote(draw(st.sampled_from(numeric)))} IN (1, 2, 3)"
+        return f"{_quote(draw(st.sampled_from(everything)))} IS NOT NULL"
+
+    grouped = draw(st.booleans())
+    if grouped:
+        group_column = _quote(draw(st.sampled_from(everything)))
+        aggregate = "COUNT(*)"
+        if numeric and draw(st.booleans()):
+            fn = draw(st.sampled_from(["SUM", "AVG", "MIN", "MAX"]))
+            aggregate = f"{fn}({_quote(draw(st.sampled_from(numeric)))})"
+        items = f"{group_column}, {aggregate} AS agg"
+        sql = f"SELECT {items} FROM {table}"
+        if draw(st.booleans()):
+            sql += f" WHERE {predicate()}"
+        sql += f" GROUP BY {group_column}"
+        if draw(st.booleans()):
+            sql += " HAVING COUNT(*) >= 1"
+        if draw(st.booleans()):
+            sql += f" ORDER BY {draw(st.sampled_from([1, 2]))}"
+    else:
+        count = draw(st.integers(1, 3))
+        items = ", ".join(
+            f"{scalar_expression()} AS c{i}" for i in range(count)
+        )
+        distinct = "DISTINCT " if draw(st.booleans()) else ""
+        sql = f"SELECT {distinct}{items} FROM {table}"
+        if draw(st.booleans()):
+            sql += f" WHERE {predicate()}"
+        if draw(st.booleans()):
+            sql += f" ORDER BY {draw(st.integers(1, count))}"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(0, 20))}"
+        if draw(st.booleans()):
+            sql += f" OFFSET {draw(st.integers(0, 5))}"
+    return domain, sql
+
+
+class TestSoundness:
+    @settings(max_examples=200, deadline=None)
+    @given(case=selects())
+    def test_accepted_queries_execute(self, case):
+        domain, sql = case
+        db, analyzer = _domain(domain)
+        report = analyzer.analyze(sql)
+        if not report.ok:
+            return  # rejection is always safe; soundness is one-way
+        try:
+            result = db.execute(sql)
+        except ReproError as error:  # pragma: no cover - the bug trap
+            raise AssertionError(
+                f"analyzer accepted but engine rejected:\n  {sql}\n"
+                f"  engine: {type(error).__name__}: {error}\n"
+                f"  report: {report.render()}"
+            ) from error
+        assert len(result.rows) <= report.cost.result_rows, sql
+
+    @settings(max_examples=50, deadline=None)
+    @given(case=selects())
+    def test_analysis_matches_preflight_execute(self, case):
+        """execute(analyze=True) agrees with the standalone report."""
+        domain, sql = case
+        db, analyzer = _domain(domain)
+        report = analyzer.analyze(sql)
+        if report.ok:
+            db.execute(sql, analyze=True)  # must not raise
+        else:
+            from repro.errors import AnalysisError
+
+            try:
+                db.execute(sql, analyze=True)
+            except AnalysisError as error:
+                assert error.report is not None
+                assert not error.report.ok
+            else:  # pragma: no cover - the bug trap
+                raise AssertionError(
+                    f"standalone analysis rejected but pre-flight "
+                    f"admitted: {sql}"
+                )

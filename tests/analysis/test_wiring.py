@@ -1,0 +1,99 @@
+"""Analyzer wiring through Database / SQLExecutor / TAGPipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FixedQuerySynthesizer,
+    NoGenerator,
+    SQLExecutor,
+    TAGPipeline,
+)
+from repro.core.tag import TAGError
+from repro.db import Column, Database, DataType, TableSchema
+from repro.errors import AnalysisError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", DataType.INTEGER, primary_key=True),
+                Column("name", DataType.TEXT),
+            ],
+        )
+    )
+    database.insert("t", [(1, "a")])
+    return database
+
+
+class TestDatabasePreflight:
+    def test_execute_analyze_raises_with_report(self, db):
+        with pytest.raises(AnalysisError) as excinfo:
+            db.execute("SELECT ghost FROM t", analyze=True)
+        report = excinfo.value.report
+        assert report is not None
+        assert [d.code for d in report.errors] == ["ANA003"]
+        assert "unknown column 'ghost'" in str(excinfo.value)
+
+    def test_execute_analyze_passes_clean_query(self, db):
+        result = db.execute("SELECT name FROM t", analyze=True)
+        assert result.rows == [("a",)]
+
+    def test_default_execute_skips_analysis(self, db):
+        # Warnings (and analyzer opinions generally) never block the
+        # default path; only opt-in pre-flight rejects.
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            db.execute("SELECT ghost FROM t")
+
+    def test_dml_unaffected_by_analyze_flag(self, db):
+        result = db.execute("INSERT INTO t VALUES (2, 'b')", analyze=True)
+        assert result.rows == [(1,)]
+
+    def test_analyze_method_never_raises(self, db):
+        report = db.analyze("SELEKT")
+        assert [d.code for d in report.diagnostics] == ["ANA001"]
+
+
+class TestTAGErrorMapping:
+    def test_analysis_error_maps_to_step_zero(self, db):
+        try:
+            db.execute("SELECT ghost FROM t", analyze=True)
+        except AnalysisError as error:
+            tag_error = TAGError.from_exception(error, step=1)
+        # The analyzer indicts the synthesized SQL: step 0, kind
+        # "analysis" — regardless of the step the caller was in.
+        assert tag_error.kind == "analysis"
+        assert tag_error.step == 0
+
+    def test_other_errors_keep_class_kind(self):
+        tag_error = TAGError.from_exception(ValueError("nope"), step=2)
+        assert tag_error.kind == "ValueError"
+        assert tag_error.step == 2
+
+    def test_pipeline_fails_fast_on_bad_sql(self, db):
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer("SELECT ghost FROM t"),
+            SQLExecutor(db, analyze=True),
+            NoGenerator(),
+        )
+        result = pipeline.run("whatever")
+        assert not result.ok
+        assert result.error.kind == "analysis"
+        assert result.error.step == 0
+
+    def test_pipeline_unaffected_when_analyze_off(self, db):
+        pipeline = TAGPipeline(
+            FixedQuerySynthesizer("SELECT ghost FROM t"),
+            SQLExecutor(db),
+            NoGenerator(),
+        )
+        result = pipeline.run("whatever")
+        assert not result.ok
+        assert result.error.kind == "PlanningError"

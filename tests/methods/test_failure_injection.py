@@ -76,11 +76,14 @@ class TestText2SQLFailures:
         assert "SQLSyntaxError" in result.error
 
     def test_hallucinated_column_counted_wrong(self, suite, datasets):
+        # The static analyzer now rejects hallucinated columns before a
+        # plan is ever built; the failure still counts as incorrect.
         method = Text2SQLMethod(_lm_with(_HallucinatedColumnHandler()))
         spec = _spec(suite, "match-k04")
         result = method.answer(spec, datasets[spec.domain])
         assert not result.ok
-        assert "PlanningError" in result.error
+        assert "AnalysisError" in result.error
+        assert "unknown column" in result.error
 
     def test_benchmark_scores_failures_as_incorrect(
         self, suite, datasets

@@ -1,0 +1,205 @@
+"""Admission control: deterministic, budget-faithful, worker-blind.
+
+The load-bearing property: the accept/reject set is decided before any
+worker exists, so it is byte-identical at every worker count — and the
+rest of the report (which requests ran, what they answered) is the
+same deterministic function of the admitted stream the PR-1 server
+already guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FixedQuerySynthesizer,
+    NoGenerator,
+    SQLExecutor,
+    TAGPipeline,
+)
+from repro.db import Column, Database, DataType, TableSchema
+from repro.serve import (
+    AdmissionPolicy,
+    SQLAdmissionEstimator,
+    TagServer,
+)
+
+ROWS = 12
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "reviews",
+            [
+                Column("id", DataType.INTEGER, primary_key=True),
+                Column("body", DataType.TEXT),
+            ],
+        )
+    )
+    database.insert(
+        "reviews", [(index, f"review {index}") for index in range(ROWS)]
+    )
+    database.register_udf("JUDGE", lambda v: "pos", expensive=True)
+    return database
+
+
+CHEAP_SQL = "SELECT body FROM reviews LIMIT 1"
+DEEP_SQL = "SELECT JUDGE(body) FROM reviews"
+BROKEN_SQL = "SELECT ghost FROM reviews"
+
+
+def _query_for(request: str) -> str | None:
+    if "deep" in request:
+        return DEEP_SQL
+    if "broken" in request:
+        return BROKEN_SQL
+    if "opaque" in request:
+        return None
+    return CHEAP_SQL
+
+
+def _policy(db, budget: int, **kwargs) -> AdmissionPolicy:
+    return AdmissionPolicy(
+        estimator=SQLAdmissionEstimator(db, _query_for),
+        max_lm_calls=budget,
+        **kwargs,
+    )
+
+
+def _factory(db):
+    def factory(lm):
+        return TAGPipeline(
+            FixedQuerySynthesizer(CHEAP_SQL),
+            SQLExecutor(db),
+            NoGenerator(),
+        )
+
+    return factory
+
+
+REQUESTS = [
+    "cheap 0",
+    "deep 1",
+    "cheap 2",
+    "opaque 3",
+    "deep 4",
+    "broken 5",
+    "cheap 6",
+]
+
+
+def _partition(report):
+    accepted = [r.index for r in report.results if r.worker >= 0]
+    rejected = [
+        (r.index, r.result.error.kind)
+        for r in report.results
+        if r.worker == -1
+    ]
+    return accepted, rejected
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5, 8])
+    def test_accept_reject_set_worker_invariant(self, db, workers):
+        server = TagServer(
+            _factory(db), workers=workers, admission=_policy(db, ROWS - 1)
+        )
+        accepted, rejected = _partition(server.serve(list(REQUESTS)))
+        # DEEP_SQL estimates ROWS LM calls > budget ROWS-1; broken SQL
+        # is an analysis rejection; everything else is admitted.
+        assert accepted == [0, 2, 3, 6]
+        assert rejected == [
+            (1, "admission"),
+            (4, "admission"),
+            (5, "analysis"),
+        ]
+
+    def test_reports_identical_across_worker_counts(self, db):
+        outcomes = []
+        for workers in (1, 2, 4):
+            report = TagServer(
+                _factory(db),
+                workers=workers,
+                admission=_policy(db, ROWS - 1),
+            ).serve(list(REQUESTS))
+            outcomes.append(
+                [
+                    (r.index, r.ok, str(r.result.error or ""))
+                    for r in report.results
+                ]
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestBudgetSemantics:
+    def test_budget_boundary_is_inclusive(self, db):
+        server = TagServer(
+            _factory(db), workers=2, admission=_policy(db, ROWS)
+        )
+        accepted, rejected = _partition(server.serve(["deep scan"]))
+        assert accepted == [0]
+        assert rejected == []
+
+    def test_rejected_requests_consume_no_lm(self, db):
+        report = TagServer(
+            _factory(db), workers=2, admission=_policy(db, 0)
+        ).serve(["deep 0", "deep 1"])
+        assert report.admission_rejected == 2
+        assert all(r.lm_calls == 0 for r in report.results)
+        assert report.usage.calls == 0
+
+    def test_token_budget(self, db):
+        policy = AdmissionPolicy(
+            estimator=SQLAdmissionEstimator(db, _query_for),
+            max_lm_calls=10**9,
+            max_lm_tokens=1,
+        )
+        report = TagServer(
+            _factory(db), workers=1, admission=policy
+        ).serve(["deep 0"])
+        assert report.admission_rejected == 1
+        error = report.results[0].result.error
+        assert "LM tokens" in error.message
+
+    def test_analysis_rejection_is_step_zero(self, db):
+        report = TagServer(
+            _factory(db), workers=1, admission=_policy(db, ROWS)
+        ).serve(["broken 0"])
+        error = report.results[0].result.error
+        assert error.kind == "analysis"
+        assert error.step == 0
+
+    def test_reject_invalid_false_admits_broken_sql(self, db):
+        report = TagServer(
+            _factory(db),
+            workers=1,
+            admission=_policy(db, ROWS, reject_invalid=False),
+        ).serve(["broken 0"])
+        assert report.admission_rejected == 0
+        # It was dispatched (the demo pipeline runs CHEAP_SQL anyway).
+        assert report.results[0].worker == 0
+
+    def test_estimator_abstention_admits(self, db):
+        report = TagServer(
+            _factory(db), workers=1, admission=_policy(db, 0)
+        ).serve(["opaque 0"])
+        assert report.admission_rejected == 0
+
+
+class TestReportAccounting:
+    def test_counter_and_errors_align(self, db):
+        report = TagServer(
+            _factory(db), workers=2, admission=_policy(db, ROWS - 1)
+        ).serve(list(REQUESTS))
+        assert report.admission_rejected == 3
+        assert len(report.errors) == 3
+        assert len(report.results) == len(REQUESTS)
+        assert report.availability == pytest.approx(4 / 7)
+
+    def test_no_admission_is_bit_identical_to_baseline(self, db):
+        plain = TagServer(_factory(db), workers=2).serve(list(REQUESTS))
+        assert plain.admission_rejected == 0
+        assert all(r.worker >= 0 for r in plain.results)

@@ -118,3 +118,90 @@ class TestServe:
         )
         output = capsys.readouterr().out
         assert "FAILED" in output
+
+
+class TestServeAdmission:
+    def test_budget_rejects_deep_scans(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "8",
+                    "--admit-budget", "10",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "admission-rej" in output
+        assert "exceeds admission budget 10" in output
+
+    def test_generous_budget_rejects_nothing(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "8",
+                    "--admit-budget", "100000",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "admission-rej           0" in output
+
+
+class TestAnalyzeCommand:
+    def test_valid_query_ok(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "SELECT name FROM circuits LIMIT 3",
+                    "--db", "formula_1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "analyze: ok" in output
+        assert "estimated LM calls" in output
+
+    def test_broken_query_rejected_with_span(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "SELECT nope FROM circuits",
+                    "--db", "formula_1",
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "analyze: rejected" in output
+        assert "ANA003" in output
+        assert "^^^^" in output
+
+    def test_requires_db(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "SELECT 1"])
+
+
+class TestLintCommand:
+    def test_repository_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, capsys, tmp_path, monkeypatch):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "bad.py").write_text(
+            "def f(x=[]):\n    return x\n"
+        )
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        output = capsys.readouterr().out
+        assert "DET104" in output
+
+    def test_missing_src_errors(self, capsys, tmp_path):
+        assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
+        assert "no src/" in capsys.readouterr().err
