@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke lint analyze-smoke verify
+.PHONY: test bench bench-smoke lint analyze-smoke trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,7 +10,7 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_trace_overhead.py -q
 
 # Determinism linter over src/ (see repro.analysis.lint); exits
 # nonzero on any unsuppressed finding.
@@ -23,8 +23,20 @@ analyze-smoke:
 	$(PYTHON) -m repro analyze "SELECT name FROM circuits LIMIT 3" --db formula_1
 	! $(PYTHON) -m repro analyze "SELECT nope FROM circuits" --db formula_1
 
+# Trace determinism smoke: the same traced demo workload must export
+# byte-identical Chrome traces at different worker counts (the
+# tentpole contract of repro.obs).
+trace-smoke:
+	@mkdir -p benchmarks/out
+	$(PYTHON) -m repro trace --workers 1 --out benchmarks/out/trace-w1.json
+	$(PYTHON) -m repro trace --workers 3 --out benchmarks/out/trace-w3.json
+	cmp benchmarks/out/trace-w1.json benchmarks/out/trace-w3.json
+	@rm -f benchmarks/out/trace-w1.json benchmarks/out/trace-w3.json
+	@echo "trace-smoke: byte-identical across worker counts"
+
 # The pre-merge gate: full tier-1 suite, a smoke-mode pass of the
-# resilience benchmark, a clean determinism-lint baseline, and an
-# analyzer round-trip through the CLI.
-verify: test bench-smoke lint analyze-smoke
+# resilience and trace-overhead benchmarks, a clean determinism-lint
+# baseline, an analyzer round-trip through the CLI, and the trace
+# worker-invariance smoke.
+verify: test bench-smoke lint analyze-smoke trace-smoke
 	@echo "verify: OK"

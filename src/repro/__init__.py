@@ -27,6 +27,7 @@ from repro.errors import ReproError
 from repro.frame import DataFrame
 from repro.knowledge import KnowledgeBase
 from repro.lm import LMConfig, SimulatedLM
+from repro.obs import MetricsRegistry, Tracer
 from repro.semantic import SemanticOperators
 from repro.serve import BatchingLM, TagServer
 
@@ -38,12 +39,14 @@ __all__ = [
     "Database",
     "KnowledgeBase",
     "LMConfig",
+    "MetricsRegistry",
     "ReproError",
     "SemanticOperators",
     "SimulatedLM",
     "TAGPipeline",
     "TAGResult",
     "TagServer",
+    "Tracer",
     "__version__",
     "build_suite",
     "format_table1",

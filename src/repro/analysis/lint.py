@@ -24,6 +24,11 @@ DET104  mutable default argument (``def f(x=[])``) — shared across
 DET105  lock discipline: a ``*_locked`` helper called outside a
         ``with <...lock...>:`` block (the naming convention the serve
         layer uses for state that must be mutated under its lock)
+DET106  runtime identity in trace stamping: ``id()``/``hash()``/
+        ``uuid.*`` calls inside ``repro/obs/`` — span identity must be
+        assigned at export time from (request index, tree order), never
+        from interpreter addresses, salted hashes, or UUIDs, or trace
+        bytes vary run-to-run
 ======= ==============================================================
 
 Findings can be suppressed via ``[tool.repro.lint]`` in
@@ -52,6 +57,14 @@ except ModuleNotFoundError:  # pragma: no cover - 3.11 is the floor
 #: Paths (suffix-matched, "/"-normalized) where DET101 is expected:
 #: the virtual clock itself is the one sanctioned time source.
 _CLOCK_PATHS = ("serve/clock.py",)
+
+#: Path fragment ("/"-normalized) marking the observability package,
+#: where DET106 forbids runtime-identity sources in span stamping.
+_OBS_FRAGMENT = "repro/obs/"
+
+#: Builtins whose results vary across interpreter runs (addresses,
+#: salted string hashing) — banned in repro/obs/ by DET106.
+_IDENTITY_BUILTINS = ("id", "hash")
 
 _WALL_CLOCK = {
     ("time", "time"),
@@ -99,9 +112,15 @@ class LintFinding:
 
 
 class _FileLinter(ast.NodeVisitor):
-    def __init__(self, path: str, is_clock_module: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        is_clock_module: bool,
+        is_obs_module: bool = False,
+    ) -> None:
         self.path = path
         self.is_clock_module = is_clock_module
+        self.is_obs_module = is_obs_module
         self.findings: list[LintFinding] = []
         #: module aliases: local name -> canonical module ("time",
         #: "random", "numpy.random", "datetime")
@@ -127,7 +146,13 @@ class _FileLinter(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             local = alias.asname or alias.name.split(".")[0]
-            if alias.name in ("time", "random", "datetime", "numpy.random"):
+            if alias.name in (
+                "time",
+                "random",
+                "datetime",
+                "numpy.random",
+                "uuid",
+            ):
                 self.modules[local] = alias.name
             elif alias.name == "numpy":
                 self.modules[local] = "numpy"
@@ -137,7 +162,7 @@ class _FileLinter(ast.NodeVisitor):
         module = node.module or ""
         for alias in node.names:
             local = alias.asname or alias.name
-            if module in ("time", "random", "datetime"):
+            if module in ("time", "random", "datetime", "uuid"):
                 self.from_imports[local] = (module, alias.name)
             elif module == "numpy" and alias.name == "random":
                 self.modules[local] = "numpy.random"
@@ -214,6 +239,26 @@ class _FileLinter(ast.NodeVisitor):
                     f"global numpy.random.{attribute}() — use "
                     "numpy.random.default_rng(seed)",
                 )
+            if module == "uuid" and self.is_obs_module:
+                self._flag(
+                    node,
+                    "DET106",
+                    f"uuid.{attribute}() in repro/obs/ — span ids are "
+                    "assigned at export time from tree order",
+                )
+        # DET106: interpreter-identity builtins in the obs package.
+        if (
+            self.is_obs_module
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _IDENTITY_BUILTINS
+        ):
+            self._flag(
+                node,
+                "DET106",
+                f"builtin {node.func.id}() in repro/obs/ — varies "
+                "across interpreter runs; derive identity from "
+                "(request index, tree order) at export time",
+            )
         # DET105: *_locked helpers must run under a lock.
         name = None
         if isinstance(node.func, ast.Attribute):
@@ -312,6 +357,7 @@ def lint_file(path: Path, root: Path) -> list[LintFinding]:
     """Lint one Python file; returns findings (unfiltered)."""
     relative = path.relative_to(root).as_posix()
     is_clock = any(relative.endswith(clock) for clock in _CLOCK_PATHS)
+    is_obs = _OBS_FRAGMENT in relative
     try:
         tree = ast.parse(path.read_text(encoding="utf-8"))
     except SyntaxError as error:
@@ -324,7 +370,7 @@ def lint_file(path: Path, root: Path) -> list[LintFinding]:
                 f"file does not parse: {error.msg}",
             )
         ]
-    linter = _FileLinter(relative, is_clock)
+    linter = _FileLinter(relative, is_clock, is_obs)
     linter.visit(tree)
     return sorted(
         linter.findings, key=lambda f: (f.line, f.column, f.code)

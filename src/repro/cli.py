@@ -8,8 +8,14 @@ Usage (also via ``python -m repro``):
     python -m repro suite [--type T] [--capability C]
     python -m repro export <domain> <directory>
     python -m repro serve [--requests N] [--fault-rate R] [--retries N]
+                          [--trace out.json]
+    python -m repro trace [--requests N] [--workers N] [--format F] [--out P]
     python -m repro analyze "<SELECT ...>" --db <domain>
     python -m repro lint [--root DIR]
+
+``EXPLAIN ANALYZE <select>`` works through the ``sql`` subcommand: the
+annotated plan (rows in/out and virtual time per operator) prints as
+the result rows.
 """
 
 from __future__ import annotations
@@ -121,6 +127,28 @@ def build_parser() -> argparse.ArgumentParser:
             "estimated LM-UDF cost exceeds it are rejected pre-dispatch"
         ),
     )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event file for the run",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="serve a small demo stream and export its trace",
+    )
+    trace.add_argument("--requests", type=int, default=6)
+    trace.add_argument("--workers", type=int, default=2)
+    trace.add_argument("--window", type=int, default=4)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+    )
+    trace.add_argument("--out", default="trace.json")
 
     analyze = commands.add_parser(
         "analyze",
@@ -300,6 +328,11 @@ def _command_serve(args) -> int:
             estimator=SQLAdmissionEstimator(dataset.db, query_for),
             max_lm_calls=args.admit_budget,
         )
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     server = TagServer(
         factory,
         SimulatedLM(LMConfig(seed=args.seed)),
@@ -308,6 +341,7 @@ def _command_serve(args) -> int:
         fault_plan=FaultPlan.uniform(args.fault_rate, seed=args.seed),
         resilience=resilience,
         admission=admission,
+        tracer=tracer,
     )
     requests = [
         (
@@ -343,6 +377,11 @@ def _command_serve(args) -> int:
     )
     if admission is not None:
         print(f"  admission-rej    {report.admission_rejected:8d}")
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        path = write_trace(tracer, args.trace, format="chrome")
+        print(f"  trace            {path}")
     for result in report.errors:
         print(f"  FAILED #{result.index}: {result.result.error}")
     # Admission rejections are the budget working as intended; only
@@ -351,6 +390,65 @@ def _command_serve(args) -> int:
         result.ok for result in report.results if result.worker >= 0
     )
     return 0 if dispatched_ok else 1
+
+
+def _command_trace(args) -> int:
+    """Serve a small demo stream with tracing on and export the trace.
+
+    Every request uses a distinct prompt and the cache is off, so the
+    exported bytes are identical for any ``--workers`` value — the
+    determinism contract ``make trace-smoke`` checks.
+    """
+    from repro.core import SQLExecutor, SingleCallGenerator, TAGPipeline
+    from repro.data import movies
+    from repro.obs import MetricsRegistry, Tracer, write_trace
+    from repro.serve import TagServer
+
+    dataset = movies.build(seed=args.seed)
+    sql = (
+        "SELECT movie_title, review FROM movies "
+        "WHERE genre = 'Romance' ORDER BY revenue DESC LIMIT 1"
+    )
+
+    class _Synthesizer:
+        def synthesize(self, request: str) -> str:
+            return sql
+
+    def factory(lm):
+        return TAGPipeline(
+            _Synthesizer(),
+            SQLExecutor(dataset.db),
+            SingleCallGenerator(lm, aggregation=True),
+        )
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    server = TagServer(
+        factory,
+        SimulatedLM(LMConfig(seed=args.seed)),
+        workers=args.workers,
+        window=args.window,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    requests = [
+        f"Summarize the reviews of the top romance movie (#{index})"
+        for index in range(args.requests)
+    ]
+    report = server.serve(requests)
+    path = write_trace(tracer, args.out, format=args.trace_format)
+    spans = sum(
+        sum(1 for _ in root.walk()) for _, root in tracer.roots
+    )
+    print(
+        f"served {len(report.results)} requests "
+        f"(workers={args.workers}, window={args.window}, "
+        f"seed={args.seed})"
+    )
+    print(f"  spans            {spans:8d}")
+    print(f"  makespan         {report.simulated_seconds:8.2f} simulated-s")
+    print(f"  trace            {path}")
+    return 0 if all(result.ok for result in report.results) else 1
 
 
 def _command_analyze(args) -> int:
@@ -386,6 +484,7 @@ _COMMANDS = {
     "suite": _command_suite,
     "export": _command_export,
     "serve": _command_serve,
+    "trace": _command_trace,
     "analyze": _command_analyze,
     "lint": _command_lint,
 }

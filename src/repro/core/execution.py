@@ -9,6 +9,8 @@ import numpy as np
 from repro.data.base import Dataset
 from repro.db import Database
 from repro.embed import serialize_row
+from repro.obs import trace
+from repro.obs.explain import emit_operator_spans
 from repro.vector.flat import FlatIndex
 
 
@@ -26,7 +28,16 @@ class SQLExecutor:
         self.analyze = analyze
 
     def execute(self, query: str) -> list[dict[str, Any]]:
-        result = self.db.execute(query, analyze=self.analyze)
+        if trace.active():
+            # Under an active trace, run through the EXPLAIN ANALYZE
+            # instrumentation and mirror the plan as operator spans;
+            # row counts and virtual costs are pure functions of the
+            # query and data, so the trace stays deterministic.
+            analyzed = self.db.explain_analyze(query, analyze=self.analyze)
+            emit_operator_spans(analyzed.stats, analyzed.cost)
+            result = analyzed.result
+        else:
+            result = self.db.execute(query, analyze=self.analyze)
         rows = result.rows
         if self.max_rows is not None:
             rows = rows[: self.max_rows]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro.errors import ReproError
+from repro.obs import trace
 
 #: Pipeline step names, indexed by the order they run.
 STEP_NAMES = ("synthesis", "execution", "generation")
@@ -108,6 +109,10 @@ class TAGResult:
     degraded: bool = False
     #: Failed tiers that preceded this result, in attempt order.
     fallbacks: list[FallbackAttempt] = field(default_factory=list)
+    #: Root :class:`repro.obs.trace.Span` of this run, when the server
+    #: traced it.  Excluded from equality: two identically-failing runs
+    #: still compare equal whether or not one was traced.
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -161,15 +166,21 @@ class TAGPipeline:
         result = TAGResult(request=request)
         step = 0
         try:
-            result.query = self.synthesis.synthesize(request)
+            with trace.span("step:synthesis"):
+                result.query = self.synthesis.synthesize(request)
             step = 1
-            result.table = self.execution.execute(result.query)
+            with trace.span("step:execution"):
+                result.table = self.execution.execute(result.query)
             step = 2
-            result.answer = self.generation.generate(
-                request, result.table
-            )
+            with trace.span("step:generation"):
+                result.answer = self.generation.generate(
+                    request, result.table
+                )
         except Exception as error:  # noqa: BLE001 - see class docstring
             result.error = TAGError.from_exception(error, step=step)
+            trace.event(
+                "step.error", step=STEP_NAMES[step], kind=result.error.kind
+            )
         return result
 
 
@@ -204,7 +215,8 @@ class FallbackPipeline:
         attempts: list[FallbackAttempt] = []
         result = None
         for name, pipeline in self.tiers:
-            result = pipeline.run(request)
+            with trace.span(f"tier:{name}"):
+                result = pipeline.run(request)
             result.method = name
             result.degraded = bool(attempts)
             result.fallbacks = list(attempts)

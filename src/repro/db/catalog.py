@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import Any
 
@@ -15,6 +16,11 @@ from repro.db.sql import ast
 from repro.db.sql.parser import parse_statement
 from repro.db.table import Table
 from repro.errors import AnalysisError, PlanningError, SchemaError
+
+
+#: ``EXPLAIN ANALYZE <select>`` prefix, handled before the parser sees
+#: the statement (the grammar itself stays SELECT-only).
+_EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b\s*", re.IGNORECASE)
 
 
 def _analysis_error(report) -> AnalysisError:
@@ -115,7 +121,22 @@ class Database:
         (carrying the full :class:`~repro.analysis.QueryReport`) is
         raised before any plan is built when error-severity diagnostics
         are found.
+
+        ``EXPLAIN ANALYZE <select>`` executes the query through
+        counting instrumentation and returns the annotated plan tree
+        (per-operator rows in/out and virtual time) as a one-column
+        ``plan`` result — see :meth:`explain_analyze` for the
+        structured form.
         """
+        prefixed = _EXPLAIN_ANALYZE.match(sql)
+        if prefixed is not None:
+            analyzed = self.explain_analyze(
+                sql[prefixed.end() :], optimize=optimize, analyze=analyze
+            )
+            return ResultSet(
+                ["plan"],
+                [(line,) for line in analyzed.render().splitlines()],
+            )
         statement = parse_statement(sql)
         if isinstance(statement, ast.Select):
             if analyze:
@@ -150,6 +171,33 @@ class Database:
         from repro.analysis import SQLAnalyzer
 
         return SQLAnalyzer(self).analyze(sql, source=source)
+
+    def explain_analyze(
+        self, sql: str, optimize: bool = True, analyze: bool = False
+    ):
+        """Execute a SELECT with per-operator instrumentation.
+
+        Returns a :class:`repro.obs.explain.AnalyzedQuery`: the normal
+        :class:`ResultSet` plus an operator-statistics tree (rows
+        in/out and deterministic virtual time per plan node) rendered
+        by ``.render()``.  The counters reflect what actually flowed —
+        a ``LIMIT`` that stops pulling early shows up in its children's
+        ``rows_out``.
+        """
+        from repro.obs.explain import AnalyzedQuery, instrument_plan
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanningError("EXPLAIN ANALYZE only supports SELECT")
+        if analyze:
+            report = self.analyze(statement, source=sql)
+            if not report.ok:
+                raise _analysis_error(report)
+        planner = Planner(self, self.functions, optimize=optimize)
+        plan, names = planner.plan_select(statement)
+        proxy, stats = instrument_plan(plan)
+        rows = list(proxy.execute())
+        return AnalyzedQuery(stats=stats, result=ResultSet(names, rows))
 
     def explain(self, sql: str, optimize: bool = True) -> str:
         """Render the physical plan for a SELECT (diagnostics/tests)."""

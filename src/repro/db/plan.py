@@ -32,6 +32,11 @@ class PlanNode:
             lines.append(child.explain(depth + 1))
         return "\n".join(lines)
 
+    def describe(self) -> str:
+        """This node's one-line ``explain()`` label (public surface for
+        diagnostics layers like :mod:`repro.obs.explain`)."""
+        return self._describe()
+
     def _describe(self) -> str:
         return type(self).__name__
 
@@ -318,7 +323,41 @@ class Aggregate(PlanNode):
         return [self.child]
 
 
+class _Descending:
+    """Inverts the ordering of one :func:`sort_key` part (DESC keys)."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: tuple) -> None:
+        self.part = part
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.part < self.part
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _Descending) and self.part == other.part
+        )
+
+
 class Sort(PlanNode):
+    """ORDER BY as an explicit *total* order.
+
+    The composite key is ``(key parts..., input position)``: every key
+    part goes through :func:`~repro.db.types.sort_key` (NULLs rank
+    lowest, so they sort first under ASC and last under DESC), DESC
+    parts are wrapped in a comparison-inverting shim rather than
+    handled by a separate reversed pass, and the original input
+    position breaks all remaining ties.  No two rows ever compare
+    equal, so the output order — and anything built on it, notably
+    ``LIMIT`` under duplicate key values — is reproducible by
+    construction rather than by accident of sort stability.
+
+    Equivalent to the previous stable right-to-left multi-pass sort
+    (stability there *was* the input-position tie-break, implicitly),
+    but the contract is now explicit and single-pass.
+    """
+
     def __init__(
         self,
         child: PlanNode,
@@ -331,15 +370,18 @@ class Sort(PlanNode):
         self.layout = child.layout
 
     def execute(self) -> Iterator[Row]:
-        rows = list(self.child.execute())
-        # Stable multi-key sort: apply keys right-to-left.
-        for evaluate, ascending in reversed(
-            list(zip(self.keys, self.ascending))
-        ):
-            rows.sort(
-                key=lambda row: sort_key(evaluate(row)), reverse=not ascending
-            )
-        yield from rows
+        directed = list(zip(self.keys, self.ascending))
+        decorated = []
+        for position, row in enumerate(self.child.execute()):
+            parts: list[object] = []
+            for evaluate, ascending in directed:
+                part = sort_key(evaluate(row))
+                parts.append(part if ascending else _Descending(part))
+            parts.append(position)
+            decorated.append((tuple(parts), row))
+        decorated.sort(key=lambda pair: pair[0])
+        for _, row in decorated:
+            yield row
 
     def _describe(self) -> str:
         return f"Sort({len(self.keys)} key(s))"

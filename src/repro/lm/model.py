@@ -25,6 +25,7 @@ from repro.lm.latency import LatencyModel
 from repro.lm.router import HandlerContext, Router
 from repro.lm.tokenizer import count_tokens
 from repro.lm.usage import Usage
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -96,6 +97,13 @@ class SimulatedLM:
             prompt_tokens, output_tokens
         )
         self._account(1, 1, prompt_tokens, output_tokens, latency)
+        if trace.active():
+            trace.leaf(
+                "lm.complete",
+                latency,
+                prompt_tokens=prompt_tokens,
+                output_tokens=output_tokens,
+            )
         return LMResponse(text, prompt_tokens, output_tokens, latency)
 
     def complete_batch(
@@ -118,6 +126,14 @@ class SimulatedLM:
         self._account(
             len(prompts), 1, total_prompt, total_output, batch_latency
         )
+        if trace.active():
+            trace.leaf(
+                "lm.batch",
+                batch_latency,
+                size=len(prompts),
+                prompt_tokens=total_prompt,
+                output_tokens=total_output,
+            )
         return [
             LMResponse(text, prompt_tokens, output_tokens, per_request)
             for (text, prompt_tokens, output_tokens) in generated

@@ -14,6 +14,19 @@ class Usage:
     stored response without touching the model, so it increments no
     call/token/latency counter — cached work is never double-metered.
 
+    Retry metering contract.  Each *logical* request meters its cache
+    hit/miss exactly once, at first submission: when a delivery errors
+    and the resilience layer re-submits the same prompt, the retry is a
+    continuation of already-metered work, so the batching layer skips
+    hit/miss metering for it (the retry itself is counted in
+    ``retries``).  Model-side counters (``calls``, token counts,
+    ``simulated_seconds``) always reflect work the model actually
+    performed — a retried call that re-runs the model is billed again,
+    but work reused from a partially failed batch is not re-billed.
+
+    The :mod:`repro.obs` metrics registry scrapes are derived from
+    these same events; Usage stays the canonical meter.
+
     The resilience counters are metered by the fault-injection and
     middleware layers: ``faults_injected`` by
     :class:`repro.lm.faults.FaultyLM` (one per injected fault, latency

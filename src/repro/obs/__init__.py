@@ -1,0 +1,61 @@
+"""Deterministic observability: tracing, metrics, EXPLAIN ANALYZE.
+
+The paper's core claim is about *where* work happens — SQL operators
+vs. LM calls vs. post-hoc reasoning — and this package makes that
+attribution visible without sacrificing the repro's determinism
+guarantees:
+
+- :mod:`repro.obs.trace` — nested spans (request -> pipeline step ->
+  SQL operator / LM call / retry) on per-request virtual timelines;
+  byte-identical traces across runs and worker counts;
+- :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with
+  deterministic bucket bounds and permutation-invariant sums, scraped
+  into :class:`~repro.serve.server.ServeReport`;
+- :mod:`repro.obs.export` — JSON-lines and Chrome ``trace_event``
+  exporters (``python -m repro trace``, ``serve --trace out.json``);
+- :mod:`repro.obs.explain` — per-operator rows/virtual-time counting
+  behind ``EXPLAIN ANALYZE`` in :meth:`repro.db.Database.execute`.
+
+This package imports nothing from the rest of the library, so every
+layer (db, lm, core, serve) can emit spans without import cycles.
+"""
+
+from repro.obs import trace
+from repro.obs.explain import (
+    AnalyzedQuery,
+    OperatorCostModel,
+    OperatorStats,
+    emit_operator_spans,
+    instrument_plan,
+    render_stats,
+)
+from repro.obs.export import to_chrome, to_jsonl, write_trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, SpanEvent, Tracer
+
+__all__ = [
+    "AnalyzedQuery",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorCostModel",
+    "OperatorStats",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "emit_operator_spans",
+    "instrument_plan",
+    "render_stats",
+    "to_chrome",
+    "to_jsonl",
+    "trace",
+    "write_trace",
+]

@@ -1,0 +1,121 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+Both exporters are byte-deterministic: spans are walked in (request
+index, depth-first order), span ids are assigned positionally during
+the walk (never from runtime object identity), every mapping is
+serialized with sorted keys and fixed separators, and all timestamps
+are virtual seconds (JSONL) or their integer-microsecond rounding
+(Chrome).  Two runs of the same workload — at any worker count —
+produce identical files.
+
+The Chrome format (``chrome://tracing`` / Perfetto) uses one ``tid``
+per request, so a served stream renders as one swim-lane per request
+with the pipeline steps, SQL operators, and LM calls nested inside.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import Span, Tracer
+
+
+def _dumps(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _records(tracer: Tracer) -> list[dict[str, object]]:
+    """Flatten the trace to one dict per span, ids assigned in walk order."""
+    records: list[dict[str, object]] = []
+    next_id = 1
+    for index, root in tracer.roots:
+
+        def visit(span: Span, parent_id: int | None) -> None:
+            nonlocal next_id
+            span_id = next_id
+            next_id += 1
+            record: dict[str, object] = {
+                "id": span_id,
+                "parent": parent_id,
+                "request": index,
+                "name": span.name,
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "attrs": dict(span.attrs),
+            }
+            if span.events:
+                record["events"] = [
+                    {
+                        "name": happened.name,
+                        "at_s": happened.at_s,
+                        "attrs": dict(happened.attrs),
+                    }
+                    for happened in span.events
+                ]
+            records.append(record)
+            for child in span.children:
+                visit(child, span_id)
+
+        visit(root, None)
+    return records
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per span, one span per line."""
+    lines = [_dumps(record) for record in _records(tracer)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _microseconds(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def to_chrome(tracer: Tracer) -> str:
+    """A ``chrome://tracing`` / Perfetto ``trace_event`` JSON document."""
+    events: list[dict[str, object]] = []
+    for index, root in tracer.roots:
+        for span in root.walk():
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": index,
+                    "cat": "tag",
+                    "name": span.name,
+                    "ts": _microseconds(span.start_s),
+                    "dur": _microseconds(span.duration_s),
+                    "args": dict(span.attrs),
+                }
+            )
+            for happened in span.events:
+                events.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "pid": 0,
+                        "tid": index,
+                        "cat": "tag",
+                        "name": happened.name,
+                        "ts": _microseconds(happened.at_s),
+                        "args": dict(happened.attrs),
+                    }
+                )
+    return _dumps({"displayTimeUnit": "ms", "traceEvents": events})
+
+
+def write_trace(
+    tracer: Tracer, path: str | Path, format: str = "chrome"
+) -> Path:
+    """Serialize the trace to ``path``; returns the written path."""
+    if format == "chrome":
+        payload = to_chrome(tracer)
+    elif format == "jsonl":
+        payload = to_jsonl(tracer)
+    else:
+        raise ValueError(
+            f"unknown trace format {format!r}; expected 'chrome' or 'jsonl'"
+        )
+    target = Path(path)
+    target.write_text(payload, encoding="utf-8")
+    return target

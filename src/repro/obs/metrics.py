@@ -1,0 +1,167 @@
+"""A process-wide metrics registry with deterministic snapshots.
+
+Counters, gauges, and histograms in the Prometheus style, built for a
+simulated deployment: every value is either an event count or a
+virtual-clock quantity, so a snapshot is machine-independent.  Two
+design points keep snapshots byte-deterministic:
+
+- **fixed bucket bounds** — histograms take their bounds at creation
+  (default :data:`DEFAULT_BUCKETS`) instead of adapting to data, so
+  bucket layout never depends on observation order;
+- **order-independent sums** — concurrent workers observe values in
+  OS-schedule order, and naive float accumulation would make the
+  histogram sum differ in its last bits run to run.  Observations are
+  kept and summed with ``math.fsum`` (exactly rounded, hence
+  permutation-invariant) at snapshot time.
+
+Instruments are identified by name alone; requesting the same name with
+a different kind is an error rather than a silent shadowing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Default histogram bounds, in virtual seconds (upper-inclusive edges).
+DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Observation distribution over fixed, deterministic bounds."""
+
+    __slots__ = ("_lock", "bounds", "_counts", "_observations")
+
+    def __init__(
+        self, lock: threading.Lock, bounds: tuple[float, ...]
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"bounds must be a non-empty ascending tuple, got {bounds}"
+            )
+        self._lock = lock
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._observations.append(float(value))
+            for position, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[position] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._observations)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            buckets = {
+                f"{bound:g}": count
+                for bound, count in zip(self.bounds, self._counts)
+            }
+            buckets["+Inf"] = self._counts[-1]
+            return {
+                "count": len(self._observations),
+                # fsum is exactly rounded, so the sum is independent of
+                # the order worker threads observed in.
+                "sum": math.fsum(self._observations),
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments behind one lock; scrape with :meth:`snapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, tuple[str, object]] = {}
+
+    def _get(self, name: str, kind: str, factory):
+        with self._lock:
+            entry = self._instruments.get(name)
+            if entry is None:
+                instrument = factory()
+                self._instruments[name] = (kind, instrument)
+                return instrument
+            existing_kind, instrument = entry
+            if existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing_kind}, not {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter", lambda: Counter(self._lock))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(self._lock))
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(
+            name, "histogram", lambda: Histogram(self._lock, bounds)
+        )
+
+    def snapshot(self) -> dict[str, object]:
+        """All instruments, name-sorted: ``{name: value-or-histogram}``.
+
+        Deterministic for a deterministic workload: counts and gauge
+        values are exact, histogram sums are permutation-invariant.
+        """
+        with self._lock:
+            names = sorted(self._instruments)
+            entries = [(name, *self._instruments[name]) for name in names]
+        scraped: dict[str, object] = {}
+        for name, kind, instrument in entries:
+            if kind == "histogram":
+                scraped[name] = instrument.snapshot()
+            else:
+                scraped[name] = instrument.value
+        return scraped

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field, replace
 from repro.lm.model import LMConfig, LMResponse, SimulatedLM
 from repro.lm.tokenizer import count_tokens
 from repro.lm.usage import Usage
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.cache import LRUCache
 from repro.serve.clock import VirtualClock
 
@@ -51,7 +53,9 @@ class _Pending:
     When the cache is enabled, identical in-flight prompts coalesce:
     ``followers`` are requests that share this item's inner-model call
     and are resolved with it (metered as cache hits — one call, one
-    token bill).
+    token bill).  ``via`` records how the item was satisfied for trace
+    attribution: ``"call"`` (cache off), ``"miss"``, ``"hit"``, or
+    ``"coalesced"``.
     """
 
     session: "Session"
@@ -62,6 +66,7 @@ class _Pending:
     response: LMResponse | None = None
     error: Exception | None = None
     followers: list["_Pending"] = field(default_factory=list)
+    via: str = "call"
 
 
 class Session:
@@ -104,6 +109,7 @@ class BatchingLM:
         window: int = 8,
         cache_size: int = 0,
         clock: VirtualClock | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -111,11 +117,16 @@ class BatchingLM:
         self.window = window
         self.clock = clock or VirtualClock()
         self._cache = LRUCache(cache_size)
+        self._metrics = metrics
         self._cv = threading.Condition()
         self._sessions: list[Session] = []
         self._pending: list[_Pending] = []
         #: key -> leader item, for in-flight coalescing (cache on only).
         self._inflight: dict[tuple[str, int | None], _Pending] = {}
+        #: key -> outstanding errored deliveries; a re-submission of an
+        #: errored key is a *retry* of already-metered work, so its
+        #: cache hit/miss is not counted again (see _submit_in_session).
+        self._errored: dict[tuple[str, int | None], int] = {}
         self._local = threading.local()
         self._next_order = 0
 
@@ -156,6 +167,24 @@ class BatchingLM:
             if item.error is not None:
                 raise item.error
         return [item.response for item in items]  # type: ignore[misc]
+
+    def try_complete_batch(
+        self, prompts: list[str], max_tokens: int | None = None
+    ) -> list[LMResponse | Exception]:
+        """Like :meth:`complete_batch`, but per-prompt outcomes.
+
+        Returns one entry per prompt: the :class:`LMResponse` on
+        success, the exception on failure — nothing is raised.  Lets a
+        resilience layer retry *only* the failed prompts instead of
+        re-running (and re-billing) the whole batch.
+        """
+        if not prompts:
+            return []
+        items = self._submit([(prompt, max_tokens) for prompt in prompts])
+        return [
+            item.error if item.error is not None else item.response
+            for item in items
+        ]  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # sessions
@@ -215,11 +244,29 @@ class BatchingLM:
             items: list[_Pending] = []
             for prompt, max_tokens in requests:
                 key = (prompt, max_tokens)
+                # A key whose previous delivery errored is being
+                # retried (ResilientLM re-submission, a fallback tier
+                # replaying the same prompt): the original submission
+                # already metered its hit/miss, so metering again would
+                # double-count cache_misses in the ServeReport.
+                retry = False
+                outstanding = self._errored.get(key, 0)
+                if outstanding:
+                    retry = True
+                    if outstanding > 1:
+                        self._errored[key] = outstanding - 1
+                    else:
+                        del self._errored[key]
                 if self._cache.capacity:
+                    # One promoting get() is the lookup AND the
+                    # recency touch; peeking first (``key in cache``)
+                    # would leave eviction order unchanged — see
+                    # LRUCache's peek/promote contract.
                     cached = self._cache.get(key, _MISS)
                     if cached is not _MISS:
-                        self.usage.cache_hits += 1
-                        session.cache_hits += 1
+                        if not retry:
+                            self.usage.cache_hits += 1
+                            session.cache_hits += 1
                         items.append(
                             _Pending(
                                 session,
@@ -229,6 +276,7 @@ class BatchingLM:
                                 done=True,
                                 # Served from memory: no simulated compute.
                                 response=replace(cached, latency_s=0.0),
+                                via="hit",
                             )
                         )
                         continue
@@ -236,20 +284,27 @@ class BatchingLM:
                     if leader is not None:
                         # Same prompt already awaiting a flush: ride
                         # the leader's call instead of paying twice.
-                        self.usage.cache_hits += 1
-                        session.cache_hits += 1
+                        if not retry:
+                            self.usage.cache_hits += 1
+                            session.cache_hits += 1
                         follower = _Pending(
                             session,
                             session.next_seq(),
                             prompt,
                             max_tokens,
+                            via="coalesced",
                         )
                         leader.followers.append(follower)
                         items.append(follower)
                         continue
-                    self.usage.cache_misses += 1
+                    if not retry:
+                        self.usage.cache_misses += 1
                 item = _Pending(
-                    session, session.next_seq(), prompt, max_tokens
+                    session,
+                    session.next_seq(),
+                    prompt,
+                    max_tokens,
+                    via="miss" if self._cache.capacity else "call",
                 )
                 if self._cache.capacity:
                     self._inflight[key] = item
@@ -271,7 +326,46 @@ class BatchingLM:
                     session.consumed_seconds += getattr(
                         item.error, "latency_s", 0.0
                     )
+            if trace.active():
+                for item in items:
+                    self._trace_item(item)
             return items
+
+    def _trace_item(self, item: _Pending) -> None:
+        """Emit this delivery's ``lm.call`` span on the requester's trace.
+
+        Span durations are *scheduling-invariant* virtual costs — the
+        unbatched cost of the tokens for a model call, zero for cache
+        service, the fault plan's burn for an error — never the
+        batch-shared ``latency_s``, which depends on what else was in
+        flight (and therefore on the worker count).  The shared costs
+        stay in Usage/metrics; the trace stays byte-identical across
+        worker counts.
+        """
+        if item.error is not None:
+            trace.leaf(
+                "lm.call",
+                getattr(item.error, "latency_s", 0.0),
+                via=item.via,
+                outcome="error",
+                kind=type(item.error).__name__,
+            )
+            return
+        response = item.response
+        assert response is not None
+        if item.via in ("hit", "coalesced"):
+            cost = 0.0
+        else:
+            cost = self.config.latency.call_seconds(
+                response.prompt_tokens, response.output_tokens
+            )
+        trace.leaf(
+            "lm.call",
+            cost,
+            via=item.via,
+            prompt_tokens=response.prompt_tokens,
+            output_tokens=response.output_tokens,
+        )
 
     def _flush_if_barrier(self) -> None:
         """Flush iff no open session is still running (lock held)."""
@@ -297,17 +391,22 @@ class BatchingLM:
         self._pending = []
         context_window = self._inner.config.context_window
         groups: dict[int | None, list[_Pending]] = {}
-        for item in batch:
-            if count_tokens(item.prompt) > context_window:
-                self._run_single(item)
-            else:
-                groups.setdefault(item.max_tokens, []).append(item)
-        for max_tokens in sorted(
-            groups, key=lambda v: (v is None, v or 0)
-        ):
-            items = groups[max_tokens]
-            for start in range(0, len(items), self.window):
-                self._run_chunk(items[start : start + self.window])
+        # The flush runs on whichever requester's thread completed the
+        # barrier; without suspension the inner model's spans would all
+        # land on that one request's trace.  Per-request attribution
+        # happens at delivery instead (see _trace_item).
+        with trace.suspended():
+            for item in batch:
+                if count_tokens(item.prompt) > context_window:
+                    self._run_single(item)
+                else:
+                    groups.setdefault(item.max_tokens, []).append(item)
+            for max_tokens in sorted(
+                groups, key=lambda v: (v is None, v or 0)
+            ):
+                items = groups[max_tokens]
+                for start in range(0, len(items), self.window):
+                    self._run_chunk(items[start : start + self.window])
         for session in self._sessions:
             session.waiting = False
         self._cv.notify_all()
@@ -325,6 +424,11 @@ class BatchingLM:
                 self._run_single(item)
             return
         self.clock.advance(sum(r.latency_s for r in responses))
+        if self._metrics is not None:
+            self._metrics.counter("serve.lm.batches").inc()
+            self._metrics.histogram("serve.lm.batch_size").observe(
+                len(chunk)
+            )
         for item, response in zip(chunk, responses):
             self._finish(item, response)
 
@@ -338,7 +442,13 @@ class BatchingLM:
             self.clock.advance(getattr(exc, "latency_s", 0.0))
             item.error = exc
             item.done = True
-            self._inflight.pop((item.prompt, item.max_tokens), None)
+            key = (item.prompt, item.max_tokens)
+            self._inflight.pop(key, None)
+            # Each errored delivery (leader + followers) may come back
+            # as a retry of work whose hit/miss was already metered.
+            self._errored[key] = (
+                self._errored.get(key, 0) + 1 + len(item.followers)
+            )
             for follower in item.followers:
                 follower.error = exc
                 follower.done = True

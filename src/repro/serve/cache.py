@@ -19,6 +19,13 @@ class LRUCache:
 
     ``capacity == 0`` disables the cache entirely: every ``get`` misses
     and ``put`` is a no-op, so callers need no special-casing.
+
+    Peek vs. promote.  Only :meth:`get` counts as a *use*: it promotes
+    the entry to most-recently-used.  :meth:`peek` and ``key in cache``
+    are pure lookups — they never touch recency, so eviction order is a
+    function of the ``get``/``put`` history alone.  Callers that intend
+    to consume an entry must therefore use ``get`` directly rather than
+    testing membership first and assuming the test refreshed it.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -28,13 +35,20 @@ class LRUCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up and *promote*: a hit becomes most-recently-used."""
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             return default
         self._entries.move_to_end(key)
         return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up without promoting: eviction order is unchanged."""
+        value = self._entries.get(key, _MISSING)
+        return default if value is _MISSING else value
+
     def __contains__(self, key: Hashable) -> bool:
+        """Membership test; a peek — never promotes (see class docs)."""
         return key in self._entries
 
     def put(self, key: Hashable, value: Any) -> None:

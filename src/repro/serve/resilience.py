@@ -49,6 +49,7 @@ from repro.errors import (
 )
 from repro.lm.model import LMConfig, LMResponse
 from repro.lm.usage import Usage
+from repro.obs import trace
 from repro.serve.batching import Session
 from repro.serve.clock import VirtualClock
 
@@ -261,66 +262,113 @@ class ResilientLM:
     def complete(
         self, prompt: str, max_tokens: int | None = None
     ) -> LMResponse:
-        retry = self.policy.retry
-        deadline = self.policy.deadline_s
-        spent = 0.0
-        attempt = 1
-        while True:
-            self._check_breaker()
-            try:
-                response = self._inner.complete(prompt, max_tokens)
-            except TransientLMError as error:
-                cost = error.latency_s
-                spent += cost
-                self._timeline.advance(cost)
-                if self.breaker is not None and self.breaker.record_failure():
-                    with self._meter_lock:
-                        self.usage.breaker_trips += 1
-                if attempt >= retry.max_attempts:
-                    raise
-                backoff = retry.backoff_seconds(prompt, attempt)
-                if deadline is not None and spent + backoff > deadline:
-                    with self._meter_lock:
-                        self.usage.deadline_exceeded += 1
-                    raise DeadlineExceededError(deadline, spent) from error
-                self._sleep(backoff)
-                spent += backoff
-                attempt += 1
-            else:
-                self._timeline.advance(response.latency_s)
-                if self.breaker is not None:
-                    self.breaker.record_success()
-                return response
+        return self._drive(prompt, max_tokens, None)
 
     def complete_batch(
         self, prompts: list[str], max_tokens: int | None = None
     ) -> list[LMResponse]:
         """Healthy batches pass through untouched (identical batch
-        composition and cost to no middleware at all); a batch that
-        fails transiently is re-driven one prompt at a time so each
-        prompt gets its own retry budget."""
+        composition and cost to no middleware at all).
+
+        When the inner model exposes ``try_complete_batch`` (a
+        :class:`~repro.serve.batching.BatchingLM` does), a partially
+        failed batch keeps its successful responses and re-drives
+        *only* the failed prompts — already-billed work is never
+        re-executed, so ``calls`` and token counters stay honest under
+        retry.  Otherwise a transiently failed batch is re-driven one
+        prompt at a time, each with its own retry budget.
+        """
         if not prompts:
             return []
         self._check_breaker()
-        try:
-            responses = self._inner.complete_batch(prompts, max_tokens)
-        except TransientLMError:
-            return [
-                self.complete(prompt, max_tokens) for prompt in prompts
-            ]
-        self._timeline.advance(sum(r.latency_s for r in responses))
-        if self.breaker is not None:
-            self.breaker.record_success()
-        return responses
+        attempted = getattr(self._inner, "try_complete_batch", None)
+        if attempted is None:
+            try:
+                responses = self._inner.complete_batch(prompts, max_tokens)
+            except TransientLMError:
+                return [
+                    self.complete(prompt, max_tokens) for prompt in prompts
+                ]
+            self._timeline.advance(sum(r.latency_s for r in responses))
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return responses
+        results: list[LMResponse] = []
+        for prompt, outcome in zip(prompts, attempted(prompts, max_tokens)):
+            if isinstance(outcome, LMResponse):
+                self._timeline.advance(outcome.latency_s)
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                results.append(outcome)
+            elif isinstance(outcome, TransientLMError):
+                results.append(self._drive(prompt, max_tokens, outcome))
+            else:
+                raise outcome
+        return results
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
+    def _drive(
+        self,
+        prompt: str,
+        max_tokens: int | None,
+        failure: TransientLMError | None,
+    ) -> LMResponse:
+        """The retry loop for one prompt.
+
+        ``failure`` optionally seeds the loop with a transient error
+        that already happened (a failed slot of a batch): attempt 1 is
+        charged for it and the loop proceeds straight to
+        backoff-and-retry, exactly as if this wrapper had made the
+        failing call itself.
+        """
+        retry = self.policy.retry
+        deadline = self.policy.deadline_s
+        spent = 0.0
+        attempt = 1
+        while True:
+            if failure is None:
+                self._check_breaker()
+                try:
+                    response = self._inner.complete(prompt, max_tokens)
+                except TransientLMError as exc:
+                    failure = exc
+                else:
+                    self._timeline.advance(response.latency_s)
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    return response
+            error, failure = failure, None
+            cost = error.latency_s
+            spent += cost
+            self._timeline.advance(cost)
+            if self.breaker is not None and self.breaker.record_failure():
+                with self._meter_lock:
+                    self.usage.breaker_trips += 1
+                trace.event("breaker.trip")
+            if attempt >= retry.max_attempts:
+                raise error
+            backoff = retry.backoff_seconds(prompt, attempt)
+            if deadline is not None and spent + backoff > deadline:
+                with self._meter_lock:
+                    self.usage.deadline_exceeded += 1
+                trace.event(
+                    "deadline.exceeded", deadline=deadline, spent=spent
+                )
+                raise DeadlineExceededError(deadline, spent) from error
+            trace.leaf("retry.backoff", backoff, attempt=attempt)
+            self._sleep(backoff)
+            spent += backoff
+            attempt += 1
+
     def _check_breaker(self) -> None:
         if self.breaker is not None and not self.breaker.allow():
             # Fail fast: no simulated LM latency, no clock advance.
-            raise CircuitOpenError(self.breaker.cooldown_remaining())
+            cooldown = self.breaker.cooldown_remaining()
+            trace.event("breaker.open", cooldown=cooldown)
+            raise CircuitOpenError(cooldown)
 
     def _sleep(self, seconds: float) -> None:
         """A backoff sleep in simulated time.

@@ -35,6 +35,8 @@ from repro.core.tag import TAGError, TAGPipeline, TAGResult
 from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.model import SimulatedLM
 from repro.lm.usage import Usage
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.batching import BatchingLM, Session
 from repro.serve.clock import VirtualClock
@@ -84,6 +86,9 @@ class ServeReport:
     #: Requests admission control turned away before dispatch (they
     #: still appear in ``results``, with ``worker == -1``).
     admission_rejected: int = 0
+    #: Scraped :class:`~repro.obs.metrics.MetricsRegistry` snapshot for
+    #: the run (empty when the server was built without a registry).
+    metrics: dict = field(default_factory=dict)
     errors: list[ServeResult] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -155,6 +160,8 @@ class TagServer:
         fault_plan: FaultPlan | None = None,
         resilience: ResiliencePolicy | None = None,
         admission: AdmissionPolicy | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -168,6 +175,8 @@ class TagServer:
         self.fault_plan = fault_plan
         self.resilience = resilience
         self.admission = admission
+        self.tracer = tracer
+        self.metrics = metrics
 
     def serve(self, requests: list[str]) -> ServeReport:
         """Run every request; never raises for a single request's failure.
@@ -191,6 +200,7 @@ class TagServer:
             window=self.window,
             cache_size=self.cache_size,
             clock=clock,
+            metrics=self.metrics,
         )
         meter_lock = threading.Lock()
         before = self._inner.usage.snapshot()
@@ -256,13 +266,30 @@ class TagServer:
             thread.join()
         if fatal:
             raise fatal[0]
+        final = [result for result in results if result is not None]
+        if self.metrics is not None:
+            registry = self.metrics
+            # Touch every instrument up front so a clean run scrapes
+            # explicit zeros rather than omitting the names.
+            served = registry.counter("serve.requests")
+            errored = registry.counter("serve.errors")
+            latencies = registry.histogram("serve.request.vseconds")
+            for result in final:
+                served.inc()
+                if not result.ok:
+                    errored.inc()
+                latencies.observe(result.et_seconds)
+            registry.gauge("serve.makespan.vseconds").set(clock.now())
         return ServeReport(
-            results=[result for result in results if result is not None],
+            results=final,
             simulated_seconds=clock.now(),
             usage=self._inner.usage.since(before),
             workers=self.workers,
             window=self.window,
             admission_rejected=rejected,
+            metrics=(
+                self.metrics.snapshot() if self.metrics is not None else {}
+            ),
         )
 
     def _worker_lm(
@@ -322,12 +349,23 @@ class TagServer:
                             cache_hits=0,
                         )
                     return
+                tracer = self.tracer
                 for index in indices:
                     seconds = session.consumed_seconds
                     calls = session.lm_calls
                     hits = session.cache_hits
+                    request_scope = (
+                        tracer.request(requests[index], index)
+                        if tracer is not None
+                        else None
+                    )
                     try:
-                        outcome = pipeline.run(requests[index])
+                        if request_scope is not None:
+                            with request_scope as root:
+                                outcome = pipeline.run(requests[index])
+                                outcome.trace = root
+                        else:
+                            outcome = pipeline.run(requests[index])
                     except Exception as exc:  # noqa: BLE001 - worker must survive
                         outcome = TAGResult(
                             request=requests[index],

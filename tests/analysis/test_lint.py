@@ -130,6 +130,69 @@ class TestRules:
         assert _codes(findings) == ["DET105"]
         assert findings[0].line == 4  # the call inside tick()
 
+    def test_obs_identity_builtins_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/obs/trace.py",
+            """
+            def span_id(span):
+                return id(span)
+
+            def span_key(span):
+                return hash(span.name)
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET106", "DET106"]
+
+    def test_obs_uuid_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/obs/export.py",
+            """
+            import uuid
+
+            def fresh_id():
+                return uuid.uuid4()
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET106"]
+
+    def test_obs_from_import_uuid_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/obs/export.py",
+            """
+            from uuid import uuid4
+
+            def fresh_id():
+                return uuid4()
+            """,
+        )
+        assert _codes(lint_file(path, tmp_path)) == ["DET106"]
+
+    def test_identity_builtins_allowed_outside_obs(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/serve/m.py",
+            """
+            def key(value):
+                return hash(value), id(value)
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_obs_clean_file_passes(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/obs/trace.py",
+            """
+            def export_ids(roots):
+                return {index: position
+                        for position, (index, _) in enumerate(roots)}
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
     def test_clean_file_no_findings(self, tmp_path):
         path = _write(
             tmp_path,

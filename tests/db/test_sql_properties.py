@@ -334,3 +334,69 @@ class TestNaiveEvaluatorCrossCheck:
             _eval_predicate(where, row) is True for row in rows
         )
         assert got == expected
+
+
+class TestOrderByTotalOrder:
+    """ORDER BY is a deterministic *total* order.
+
+    Key ties break on input row position (mirroring the naive
+    evaluator's stable multi-pass sort), and NULLs rank lowest — first
+    ascending, last descending.  Without the positional tie-break,
+    which rows survive a LIMIT under ties would be an implementation
+    accident; here it is pinned behaviour.
+    """
+
+    @given(small_tables(), st.integers(1, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_limit_under_ties_matches_naive(self, rows, limit):
+        db = _database(rows)
+        sql = f"SELECT a, b, c FROM t ORDER BY a DESC LIMIT {limit}"
+        expected = _naive_evaluate(
+            rows, ["a", "b", "c"], None, [("a", False)], limit, 0
+        )
+        assert db.execute(sql, optimize=True).rows == expected, sql
+        assert db.execute(sql, optimize=False).rows == expected, sql
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_direction_keys_match_naive(self, rows):
+        db = _database(rows)
+        sql = "SELECT a, b, c FROM t ORDER BY a ASC, b DESC LIMIT 7"
+        expected = _naive_evaluate(
+            rows,
+            ["a", "b", "c"],
+            None,
+            [("a", True), ("b", False)],
+            7,
+            0,
+        )
+        assert db.execute(sql, optimize=True).rows == expected, sql
+        assert db.execute(sql, optimize=False).rows == expected, sql
+
+    def test_asc_ties_keep_input_order(self):
+        rows = [(1, i, "x") for i in range(10)]
+        db = _database(rows)
+        got = db.execute("SELECT b FROM t ORDER BY a LIMIT 4").rows
+        assert got == [(0,), (1,), (2,), (3,)]
+
+    def test_desc_ties_keep_input_order(self):
+        """DESC reverses the key, not the tie-break: equal-key rows
+        still surface in input order."""
+        rows = [(1, i, "x") for i in range(10)]
+        db = _database(rows)
+        got = db.execute("SELECT b FROM t ORDER BY a DESC LIMIT 4").rows
+        assert got == [(0,), (1,), (2,), (3,)]
+
+    def test_null_ordering_is_explicit(self):
+        rows = [(3, 0, "x"), (None, 1, "y"), (1, 2, "z")]
+        db = _database(rows)
+        assert db.execute("SELECT a FROM t ORDER BY a").rows == [
+            (None,),
+            (1,),
+            (3,),
+        ]
+        assert db.execute("SELECT a FROM t ORDER BY a DESC").rows == [
+            (3,),
+            (1,),
+            (None,),
+        ]

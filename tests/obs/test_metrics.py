@@ -1,0 +1,102 @@
+"""Unit tests for repro.obs.metrics."""
+
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc()
+        assert registry.counter("c").value == 2
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 99.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == 102.0
+        assert snapshot["buckets"] == {"1": 2, "2": 1, "+Inf": 1}
+
+    def test_default_bounds(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.bounds == DEFAULT_BUCKETS
+
+    def test_rejects_bad_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", bounds=(2.0, 1.0))
+
+    def test_sum_is_permutation_invariant(self):
+        """fsum makes the scraped sum independent of observe order."""
+        values = [0.1] * 10 + [1e16, 1.0, -1e16]
+        forward = MetricsRegistry().histogram("h")
+        backward = MetricsRegistry().histogram("h")
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.snapshot()["sum"] == backward.snapshot()["sum"]
+
+
+class TestRegistry:
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("z.gauge").set(3.0)
+        registry.counter("a.counter").inc(2)
+        registry.histogram("m.hist", bounds=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.counter", "m.hist", "z.gauge"]
+        assert snapshot["a.counter"] == 2
+        assert snapshot["z.gauge"] == 3.0
+        assert snapshot["m.hist"]["buckets"] == {"1": 1, "+Inf": 0}
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000

@@ -69,3 +69,45 @@ class TestLRUCache:
         cache.put("a", 1)
         cache.clear()
         assert len(cache) == 0
+
+    # -- peek/promote contract --------------------------------------------
+
+    def test_peek_returns_without_promoting(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1  # a stays LRU
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_peek_miss_returns_default(self):
+        cache = LRUCache(2)
+        assert cache.peek("missing") is None
+        assert cache.peek("missing", 7) == 7
+
+    def test_contains_is_a_peek(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # membership must not refresh recency
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_get_promotes_eviction_order(self):
+        """Pin the full eviction order: only get/put touch recency."""
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")  # order now b, c, a (LRU first)
+        cache.peek("b")  # no-op for recency
+        assert "b" in cache  # no-op for recency
+        cache.put("d", 4)  # evicts b
+        cache.put("e", 5)  # evicts c
+        assert "b" not in cache
+        assert "c" not in cache
+        assert "a" in cache
+        assert "d" in cache
+        assert "e" in cache

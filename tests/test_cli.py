@@ -205,3 +205,106 @@ class TestLintCommand:
     def test_missing_src_errors(self, capsys, tmp_path):
         assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
         assert "no src/" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--requests", "4",
+                    "--workers", "2",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "served 4 requests" in output
+        assert "spans" in output
+        import json
+
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "request" in names
+        assert "lm.call" in names
+
+    def test_jsonl_format(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--requests", "2",
+                    "--format", "jsonl",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        records = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+        ]
+        assert records[0]["name"] == "request"
+
+    def test_bytes_identical_across_worker_counts(self, tmp_path):
+        outs = []
+        for workers in ("1", "3"):
+            out = tmp_path / f"w{workers}.json"
+            assert (
+                main(
+                    [
+                        "trace",
+                        "--requests", "5",
+                        "--workers", workers,
+                        "--out", str(out),
+                    ]
+                )
+                == 0
+            )
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+
+
+class TestServeTrace:
+    def test_serve_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "4",
+                    "--trace", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "trace" in capsys.readouterr().out
+        import json
+
+        assert json.loads(out.read_text())["traceEvents"]
+
+
+class TestSqlExplainAnalyze:
+    def test_explain_analyze_prefix(self, capsys):
+        assert (
+            main(
+                [
+                    "sql",
+                    "formula_1",
+                    "EXPLAIN ANALYZE SELECT surname FROM drivers "
+                    "ORDER BY surname LIMIT 5",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "rows_out=" in output
+        assert "vtime=" in output
+        assert "Sort" in output
