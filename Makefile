@@ -10,7 +10,7 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_trace_overhead.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py -q
 
 # Determinism linter over src/ (see repro.analysis.lint); exits
 # nonzero on any unsuppressed finding.

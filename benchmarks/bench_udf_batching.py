@@ -1,0 +1,133 @@
+"""E16 — batched/deduplicated/memoized LM UDFs inside the SQL engine.
+
+The per-row UDF path pays one synchronous ``complete()`` per row
+occurrence; the vectorized path (``udf_batch_size=N``) collects a
+morsel of rows, deduplicates the distinct argument tuples, and issues
+one ``complete_batch()`` — so its LM cost scales with *distinct*
+values per morsel, not rows.  This experiment sweeps batch size x
+duplication factor on a judgment workload (the paper's Figure 1 ``LLM``
+UDF shape) and reports simulated LM seconds per configuration, plus
+the dispatched-call accounting (``udf_cache_misses``) that explains
+the shape: virtual time tracks dispatched work, and dispatched work
+collapses with duplication.
+
+Headline acceptance: >= 5x virtual-time speedup at batch 64 on the
+duplicate-heavy workload vs the per-row oracle, with byte-identical
+result rows.
+
+Smoke mode: set ``REPRO_SMOKE=1`` to shrink the sweep for CI-style
+verification runs (``make verify``).
+"""
+
+import os
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.lm import SimulatedLM, register_llm_judge
+
+from benchmarks.conftest import write_artifact
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+ROWS = 64 if SMOKE else 512
+BATCH_SIZES = (1, 64) if SMOKE else (1, 8, 64)
+#: rows per distinct value; 1 = all unique, 16 = duplicate-heavy.
+DUPLICATION = (1, 16) if SMOKE else (1, 4, 16)
+
+SQL = "SELECT s, LLM('a positive review', s) AS judged FROM t ORDER BY n"
+
+
+def _build(duplication: int) -> tuple[Database, SimulatedLM]:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("s", DataType.TEXT),
+                Column("n", DataType.INTEGER),
+            ],
+        )
+    )
+    distinct = max(1, ROWS // duplication)
+    db.insert(
+        "t",
+        [(f"review text #{index % distinct}", index) for index in range(ROWS)],
+    )
+    lm = SimulatedLM()
+    register_llm_judge(db, lm)
+    return db, lm
+
+
+def _run(duplication: int, udf_batch_size: int | None):
+    db, lm = _build(duplication)
+    result = db.execute(SQL, udf_batch_size=udf_batch_size)
+    return result.rows, lm.usage.snapshot()
+
+
+def _sweep():
+    runs = {}
+    for duplication in DUPLICATION:
+        runs[(duplication, None)] = _run(duplication, None)
+        for batch_size in BATCH_SIZES:
+            runs[(duplication, batch_size)] = _run(duplication, batch_size)
+    return runs
+
+
+def _render(runs) -> str:
+    lines = [
+        f"E16: LM-UDF execution path, {ROWS} rows, query: {SQL}",
+        "",
+        "  dup  path       LM-s     calls  batches  udf-hits  udf-miss"
+        "  speedup",
+    ]
+    for (duplication, batch_size), (_, usage) in runs.items():
+        baseline = runs[(duplication, None)][1].simulated_seconds
+        path = "per-row" if batch_size is None else f"batch={batch_size}"
+        speedup = baseline / usage.simulated_seconds
+        lines.append(
+            f"  {duplication:3d}  {path:<9s}"
+            f"  {usage.simulated_seconds:7.2f}"
+            f"  {usage.calls:6d}"
+            f"  {usage.batches:7d}"
+            f"  {usage.udf_cache_hits:8d}"
+            f"  {usage.udf_cache_misses:8d}"
+            f"  {speedup:6.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_batch_size_x_duplication_sweep(benchmark):
+    """Acceptance: every configuration returns byte-identical rows;
+    the duplicate-heavy batch-64 path is >= 5x faster in virtual time."""
+    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact("udf_batching.txt", _render(runs))
+
+    for duplication in DUPLICATION:
+        oracle_rows, oracle_usage = runs[(duplication, None)]
+        for batch_size in BATCH_SIZES:
+            rows, usage = runs[(duplication, batch_size)]
+            assert rows == oracle_rows
+            # The batched path never dispatches more than the per-row
+            # path's call count, and never more than distinct values.
+            assert usage.calls <= oracle_usage.calls
+            assert usage.calls == usage.udf_cache_misses
+
+    heavy = max(DUPLICATION)
+    baseline = runs[(heavy, None)][1].simulated_seconds
+    batched = runs[(heavy, max(BATCH_SIZES))][1].simulated_seconds
+    assert baseline / batched >= 5.0
+
+
+def test_dispatched_calls_scale_with_distinct_values(benchmark):
+    """At duplication d, the batched path dispatches ROWS/d prompts
+    (one per distinct value) against the per-row path's ROWS."""
+    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    for duplication in DUPLICATION:
+        _, usage = runs[(duplication, max(BATCH_SIZES))]
+        assert usage.calls == max(1, ROWS // duplication)
+
+
+@pytest.mark.skipif(SMOKE, reason="full sweep only")
+def test_sweep_is_deterministic(benchmark):
+    first = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert _render(first) == _render(_sweep())

@@ -128,6 +128,11 @@ class CostEstimate:
     lm_prompt_tokens: int
     #: ``lm_calls`` x per-call output-token constant.
     lm_output_tokens: int
+    #: Upper bound on invocations under the *batched* execution path
+    #: (``udf_batch_size=...``), which deduplicates argument tuples:
+    #: at most one invocation per distinct combination of argument
+    #: column values (catalog distinct counts), capped by ``lm_calls``.
+    lm_calls_batched: int = 0
 
     @property
     def lm_tokens(self) -> int:
@@ -171,6 +176,11 @@ class QueryReport:
                 f"estimated result rows   {self.cost.result_rows}"
             )
             lines.append(f"estimated LM calls      {self.cost.lm_calls}")
+            if self.cost.lm_calls:
+                lines.append(
+                    "estimated LM calls (batched path) "
+                    f"{self.cost.lm_calls_batched}"
+                )
             lines.append(
                 "estimated LM tokens     "
                 f"{self.cost.lm_tokens} "

@@ -171,6 +171,22 @@ class _Scope:
     #: True when a FROM source failed to resolve; suppresses cascading
     #: unknown-column diagnostics inside this scope.
     open: bool = False
+    #: Catalog distinct counts for batched LM-cost pricing, keyed by
+    #: ``(binding_lower, column_lower)``.  Only stored-table columns
+    #: appear; anything else falls back to the per-row bound.
+    distinct: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def distinct_bound(self, name: str, table: str | None) -> int | None:
+        """Distinct-value count for a column ref, if known."""
+        lowered = name.lower()
+        if table is not None:
+            return self.distinct.get((table.lower(), lowered))
+        matches = [
+            count
+            for (_, column), count in self.distinct.items()
+            if column == lowered
+        ]
+        return matches[0] if len(matches) == 1 else None
 
     def resolve(
         self, name: str, table: str | None
@@ -293,6 +309,7 @@ class SQLAnalyzer:
             lm_output_tokens=(
                 run.lm_calls * self.cost_model.output_tokens_per_call
             ),
+            lm_calls_batched=run.lm_calls_batched,
         )
         return QueryReport(
             sql=source_text, diagnostics=run.diagnostics, cost=cost
@@ -313,6 +330,7 @@ class _Run:
         self.cost_model = cost_model
         self.diagnostics: list[Diagnostic] = []
         self.lm_calls = 0
+        self.lm_calls_batched = 0
 
     # -- diagnostics -----------------------------------------------------
 
@@ -536,7 +554,16 @@ class _Run:
                 (source.binding, column.name, column.dtype)
                 for column in table.schema.columns
             ]
-            return _Scope(entries=entries), max(len(table), 1)
+            distinct = {
+                (source.binding.lower(), column.name.lower()): (
+                    table.distinct_count(column.name)
+                )
+                for column in table.schema.columns
+            }
+            return (
+                _Scope(entries=entries, distinct=distinct),
+                max(len(table), 1),
+            )
         if isinstance(source, ast.SubquerySource):
             info = self.select(source.query)
             entries = [
@@ -554,6 +581,7 @@ class _Run:
             scope = _Scope(
                 entries=left.entries + right.entries,
                 open=left.open or right.open,
+                distinct={**left.distinct, **right.distinct},
             )
             if source.condition is not None:
                 self._check(
@@ -860,6 +888,8 @@ class _Run:
             return DataType.ANY
         if self.functions.is_expensive(name):
             self.lm_calls += context.rows
+            self.lm_calls_batched += self._batched_bound(node, scope,
+                                                         context)
         argument_types = [
             self._check(argument, scope, context, output_aliases)
             for argument in node.args
@@ -870,6 +900,38 @@ class _Run:
             return DataType.ANY
         self._check_signature(node, signature, argument_types)
         return signature.returns
+
+    def _batched_bound(
+        self,
+        node: ast.FunctionCall,
+        scope: _Scope,
+        context: _Context,
+    ) -> int:
+        """Invocation bound for one call site under the batched path.
+
+        The batched operators invoke the UDF at most once per distinct
+        argument *tuple*, so the bound is the product of each
+        argument's distinct-value count: literals contribute 1, stored
+        columns their catalog distinct count, anything else (computed
+        expressions, subquery columns) falls back to the per-row
+        bound.  Always capped by ``context.rows`` — dedup can never
+        cost more than per-row execution.
+        """
+        bound = 1
+        for argument in node.args:
+            if isinstance(argument, ast.Literal):
+                continue
+            if isinstance(argument, ast.ColumnRef):
+                distinct = scope.distinct_bound(
+                    argument.name, argument.table
+                )
+                if distinct is not None:
+                    bound *= max(distinct, 1)
+                    if bound >= context.rows:
+                        return context.rows
+                    continue
+            return context.rows
+        return min(bound, context.rows)
 
     def _check_aggregate_call(
         self,

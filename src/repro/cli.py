@@ -283,10 +283,15 @@ def _command_serve(args) -> int:
     # requests classify every review, so their estimated cost scales
     # with the table instead of the single-row lookup above.
     deep_sql = "SELECT movie_title, MOOD(review) FROM movies"
+
+    def mood(review):
+        return "positive" if "love" in str(review) else "mixed"
+
     dataset.db.register_udf(
         "MOOD",
-        lambda review: "positive" if "love" in str(review) else "mixed",
+        mood,
         expensive=True,
+        batch=lambda tuples: [mood(review) for (review,) in tuples],
     )
 
     def query_for(request: str) -> str:
@@ -297,16 +302,18 @@ def _command_serve(args) -> int:
             return query_for(request)
 
     def factory(lm):
+        # Deep-scan requests hit the expensive UDF on every row; the
+        # vectorized path (udf_batch_size) dedups+batches those calls.
         primary = TAGPipeline(
             _DemoSynthesizer(),
-            SQLExecutor(dataset.db),
+            SQLExecutor(dataset.db, udf_batch_size=16),
             SingleCallGenerator(lm, aggregation=True),
         )
         if args.no_fallback:
             return primary
         raw_table = TAGPipeline(
             _DemoSynthesizer(),
-            SQLExecutor(dataset.db),
+            SQLExecutor(dataset.db, udf_batch_size=16),
             NoGenerator(),
         )
         return FallbackPipeline([("tag", primary), ("table", raw_table)])

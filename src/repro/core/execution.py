@@ -22,10 +22,15 @@ class SQLExecutor:
         db: Database,
         max_rows: int | None = None,
         analyze: bool = False,
+        udf_batch_size: int | None = None,
     ) -> None:
         self.db = db
         self.max_rows = max_rows
         self.analyze = analyze
+        #: When set, LM UDFs in exec SQL run through the vectorized
+        #: batched path (see ``Database.execute``); results are
+        #: identical, only the LM call pattern changes.
+        self.udf_batch_size = udf_batch_size
 
     def execute(self, query: str) -> list[dict[str, Any]]:
         if trace.active():
@@ -33,11 +38,19 @@ class SQLExecutor:
             # instrumentation and mirror the plan as operator spans;
             # row counts and virtual costs are pure functions of the
             # query and data, so the trace stays deterministic.
-            analyzed = self.db.explain_analyze(query, analyze=self.analyze)
+            analyzed = self.db.explain_analyze(
+                query,
+                analyze=self.analyze,
+                udf_batch_size=self.udf_batch_size,
+            )
             emit_operator_spans(analyzed.stats, analyzed.cost)
             result = analyzed.result
         else:
-            result = self.db.execute(query, analyze=self.analyze)
+            result = self.db.execute(
+                query,
+                analyze=self.analyze,
+                udf_batch_size=self.udf_batch_size,
+            )
         rows = result.rows
         if self.max_rows is not None:
             rows = rows[: self.max_rows]

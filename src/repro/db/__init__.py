@@ -25,6 +25,7 @@ from repro.db.result import ResultSet
 from repro.db.schema import Column, ForeignKey, TableSchema
 from repro.db.table import Table
 from repro.db.types import DataType
+from repro.db.udfcache import UDFMemoCache
 
 __all__ = [
     "Column",
@@ -34,4 +35,5 @@ __all__ = [
     "ResultSet",
     "Table",
     "TableSchema",
+    "UDFMemoCache",
 ]

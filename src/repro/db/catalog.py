@@ -8,8 +8,10 @@ from typing import Any
 
 from repro.db import types as dbtypes
 from repro.db.expr import ExpressionCompiler
-from repro.db.functions import FunctionRegistry
+from repro.db.functions import BatchFunction, FunctionRegistry
+from repro.db.plan import UDFExecContext
 from repro.db.planner import Planner
+from repro.db.udfcache import UDFMemoCache
 from repro.db.result import ResultSet, RowLayout
 from repro.db.schema import Column, ForeignKey, TableSchema
 from repro.db.sql import ast
@@ -41,10 +43,18 @@ class Database:
     ``exec`` (paper §2.1/§3, "Database Execution Engine and API").
     """
 
-    def __init__(self, name: str = "main") -> None:
+    def __init__(
+        self, name: str = "main", udf_cache_capacity: int = 4096
+    ) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
         self.functions = FunctionRegistry()
+        #: Cross-statement memo of expensive-UDF results, shared by
+        #: every batched execution against this database.  Capacity 0
+        #: disables it (intra-morsel dedup still applies).
+        self.udf_cache = UDFMemoCache(udf_cache_capacity)
+        self._udf_usage: Any = None
+        self._udf_metrics: Any = None
 
     # ------------------------------------------------------------------
     # catalog management
@@ -103,16 +113,66 @@ class Database:
         name: str,
         function: Callable[..., dbtypes.SQLValue],
         expensive: bool = False,
+        batch: BatchFunction | None = None,
     ) -> None:
-        """Expose a Python callable (e.g. an LM) as a SQL function."""
-        self.functions.register_scalar(name, function, expensive=expensive)
+        """Expose a Python callable (e.g. an LM) as a SQL function.
+
+        ``batch`` optionally supplies a vectorised form (see
+        :meth:`repro.db.functions.FunctionRegistry.register_scalar`);
+        the batched execution path dispatches it once per morsel of
+        distinct argument tuples.
+        """
+        self.functions.register_scalar(
+            name, function, expensive=expensive, batch=batch
+        )
+
+    def bind_udf_meters(
+        self, usage: Any = None, metrics: Any = None
+    ) -> None:
+        """Mirror UDF-cache counters into ``usage`` and/or ``metrics``.
+
+        ``usage`` is a :class:`repro.lm.usage.Usage` (its
+        ``udf_cache_hits``/``udf_cache_misses`` fields are
+        incremented); ``metrics`` is a
+        :class:`repro.obs.metrics.MetricsRegistry` (duck-typed).  The
+        batched operators' per-node ``exec_stats`` stay the canonical
+        meter; these are mirrors of the same increments.
+        """
+        self._udf_usage = usage
+        self._udf_metrics = metrics
+
+    def _udf_exec_context(self) -> UDFExecContext:
+        return UDFExecContext(
+            cache=self.udf_cache,
+            usage=self._udf_usage,
+            metrics=self._udf_metrics,
+        )
+
+    def _planner(
+        self, optimize: bool, udf_batch_size: int | None
+    ) -> Planner:
+        return Planner(
+            self,
+            self.functions,
+            optimize=optimize,
+            udf_batch_size=udf_batch_size,
+            udf_context=(
+                self._udf_exec_context()
+                if udf_batch_size is not None
+                else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     # SQL execution
     # ------------------------------------------------------------------
 
     def execute(
-        self, sql: str, optimize: bool = True, analyze: bool = False
+        self,
+        sql: str,
+        optimize: bool = True,
+        analyze: bool = False,
+        udf_batch_size: int | None = None,
     ) -> ResultSet:
         """Parse and run one SQL statement.
 
@@ -121,6 +181,15 @@ class Database:
         (carrying the full :class:`~repro.analysis.QueryReport`) is
         raised before any plan is built when error-severity diagnostics
         are found.
+
+        With ``udf_batch_size=N``, expensive-UDF filters and
+        projections execute through the vectorized operators
+        (:class:`~repro.db.plan.BatchedFilter` /
+        :class:`~repro.db.plan.BatchedProject`): morsels of N rows,
+        one batch dispatch per morsel of distinct argument tuples,
+        memoized across statements via :attr:`udf_cache`.  Results are
+        identical to the default per-row path (property-tested); only
+        the LM call pattern changes.
 
         ``EXPLAIN ANALYZE <select>`` executes the query through
         counting instrumentation and returns the annotated plan tree
@@ -131,7 +200,10 @@ class Database:
         prefixed = _EXPLAIN_ANALYZE.match(sql)
         if prefixed is not None:
             analyzed = self.explain_analyze(
-                sql[prefixed.end() :], optimize=optimize, analyze=analyze
+                sql[prefixed.end() :],
+                optimize=optimize,
+                analyze=analyze,
+                udf_batch_size=udf_batch_size,
             )
             return ResultSet(
                 ["plan"],
@@ -143,7 +215,7 @@ class Database:
                 report = self.analyze(statement, source=sql)
                 if not report.ok:
                     raise _analysis_error(report)
-            planner = Planner(self, self.functions, optimize=optimize)
+            planner = self._planner(optimize, udf_batch_size)
             return planner.run_select(statement)
         if isinstance(statement, ast.CreateTable):
             self._execute_create(statement)
@@ -173,7 +245,11 @@ class Database:
         return SQLAnalyzer(self).analyze(sql, source=source)
 
     def explain_analyze(
-        self, sql: str, optimize: bool = True, analyze: bool = False
+        self,
+        sql: str,
+        optimize: bool = True,
+        analyze: bool = False,
+        udf_batch_size: int | None = None,
     ):
         """Execute a SELECT with per-operator instrumentation.
 
@@ -182,7 +258,9 @@ class Database:
         in/out and deterministic virtual time per plan node) rendered
         by ``.render()``.  The counters reflect what actually flowed —
         a ``LIMIT`` that stops pulling early shows up in its children's
-        ``rows_out``.
+        ``rows_out``.  Under ``udf_batch_size``, batched operators
+        additionally report their LM call/batch and UDF-cache counters
+        per node.
         """
         from repro.obs.explain import AnalyzedQuery, instrument_plan
 
@@ -193,18 +271,23 @@ class Database:
             report = self.analyze(statement, source=sql)
             if not report.ok:
                 raise _analysis_error(report)
-        planner = Planner(self, self.functions, optimize=optimize)
+        planner = self._planner(optimize, udf_batch_size)
         plan, names = planner.plan_select(statement)
         proxy, stats = instrument_plan(plan)
         rows = list(proxy.execute())
         return AnalyzedQuery(stats=stats, result=ResultSet(names, rows))
 
-    def explain(self, sql: str, optimize: bool = True) -> str:
+    def explain(
+        self,
+        sql: str,
+        optimize: bool = True,
+        udf_batch_size: int | None = None,
+    ) -> str:
         """Render the physical plan for a SELECT (diagnostics/tests)."""
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise PlanningError("EXPLAIN only supports SELECT")
-        planner = Planner(self, self.functions, optimize=optimize)
+        planner = self._planner(optimize, udf_batch_size)
         plan, _ = planner.plan_select(statement)
         return plan.explain()
 

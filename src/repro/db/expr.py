@@ -38,6 +38,11 @@ class ExpressionCompiler:
     ``subquery_planner`` is consulted lazily for subquery expressions;
     subquery results are computed on first use and cached, so an
     uncorrelated ``IN (SELECT ...)`` executes its inner query once.
+
+    ``call_overrides`` maps :class:`~repro.db.sql.ast.FunctionCall`
+    nodes (by structural equality) to pre-built evaluators; the batched
+    UDF path uses it to splice memo lookups in place of expensive calls
+    while the rest of the expression compiles normally.
     """
 
     def __init__(
@@ -45,10 +50,12 @@ class ExpressionCompiler:
         layout: RowLayout,
         functions: "FunctionRegistry",
         subquery_planner: "Planner | None" = None,
+        call_overrides: "dict[ast.FunctionCall, Evaluator] | None" = None,
     ) -> None:
         self._layout = layout
         self._functions = functions
         self._subquery_planner = subquery_planner
+        self._call_overrides = call_overrides
 
     def compile(self, expression: ast.Expression) -> Evaluator:
         method_name = "_compile_" + type(expression).__name__.lower()
@@ -159,6 +166,10 @@ class ExpressionCompiler:
     # -- functions -----------------------------------------------------------
 
     def _compile_functioncall(self, node: ast.FunctionCall) -> Evaluator:
+        if self._call_overrides is not None:
+            override = self._call_overrides.get(node)
+            if override is not None:
+                return override
         if self._functions.is_aggregate(node.name) and not (
             self._functions.has_scalar(node.name) and len(node.args) > 1
         ):
@@ -361,6 +372,187 @@ class ExpressionCompiler:
             return rows[0][0]
 
         return evaluate
+
+
+# ---------------------------------------------------------------------------
+# Batched UDF call sites
+# ---------------------------------------------------------------------------
+
+#: Memo key of one resolved UDF invocation: ``(FUNCTION, argument tuple)``.
+MemoKey = tuple[str, tuple[SQLValue, ...]]
+
+_UNRESOLVED = object()
+
+
+class UDFCallError:
+    """A memoized *failure*: re-raised whenever a row reads the slot.
+
+    The batched path resolves distinct argument tuples ahead of row
+    evaluation, so a failing call must be parked rather than raised at
+    dispatch time — the per-row oracle path only raises when the first
+    row carrying the failing arguments is actually evaluated, and the
+    batched path must surface the identical error at the identical row.
+    Failures are never written to the cross-statement cache.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
+
+
+class UDFCallSite:
+    """One strict expensive-call site, compiled for batched execution.
+
+    Holds the per-argument evaluators (cheap row expressions) and a
+    statement-local memo of resolved keys.  ``evaluate`` is the
+    residual-phase evaluator spliced into the surrounding expression
+    via ``call_overrides``: it recomputes the key (argument evaluation
+    is deterministic, so this matches the collect phase) and reads the
+    memo.  Argument-evaluation errors deliberately re-raise *here*, in
+    row order, exactly as the per-row path would.
+    """
+
+    __slots__ = ("name", "function", "batch_function", "arg_evaluators", "memo")
+
+    def __init__(
+        self,
+        name: str,
+        function: Callable[..., SQLValue],
+        batch_function: Callable | None,
+        arg_evaluators: list[Evaluator],
+    ) -> None:
+        self.name = name
+        self.function = function
+        self.batch_function = batch_function
+        self.arg_evaluators = arg_evaluators
+        self.memo: dict[MemoKey, object] = {}
+
+    def key(self, row: Row) -> MemoKey:
+        return (
+            self.name,
+            tuple(evaluate(row) for evaluate in self.arg_evaluators),
+        )
+
+    def evaluate(self, row: Row) -> SQLValue:
+        value = self.memo.get(self.key(row), _UNRESOLVED)
+        if value is _UNRESOLVED:
+            raise ExecutionError(
+                f"internal: uncollected batched call to {self.name}"
+            )
+        if isinstance(value, UDFCallError):
+            raise value.error
+        return value  # type: ignore[return-value]
+
+    def call_scalar(self, args: tuple[SQLValue, ...]) -> object:
+        """Invoke the scalar form, parking errors per the oracle contract."""
+        try:
+            return self.function(*args)
+        except ExecutionError as exc:
+            return UDFCallError(exc)
+        except Exception as exc:
+            return UDFCallError(
+                ExecutionError(f"error in function {self.name}: {exc}")
+            )
+
+
+def strict_expensive_calls(
+    expression: ast.Expression, functions: "FunctionRegistry"
+) -> list[ast.FunctionCall]:
+    """Expensive calls evaluated *unconditionally* for every row.
+
+    Walks only the edges the compiled evaluators traverse eagerly, so a
+    call the per-row path might skip (the right side of AND/OR, CASE
+    branches past the first WHEN, IN-list items) is never pre-executed
+    by the batched path — pre-executing it could change results, error
+    behaviour, or LM accounting.  Returned in post-order (inner calls
+    before the calls that consume them) with structural duplicates
+    removed, which is exactly the dispatch order the batched operators
+    need for nested LM UDFs.
+    """
+    found: list[ast.FunctionCall] = []
+
+    def visit(node: ast.Expression) -> None:
+        if isinstance(node, ast.FunctionCall):
+            if functions.is_aggregate(node.name) and not (
+                functions.has_scalar(node.name) and len(node.args) > 1
+            ):
+                return  # aggregate shape: rewritten away before compile
+            for arg in node.args:
+                visit(arg)
+            if functions.is_expensive(node.name) and node not in found:
+                found.append(node)
+        elif isinstance(node, ast.BinaryOp):
+            visit(node.left)
+            if node.op not in ("AND", "OR"):  # right side short-circuits
+                visit(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, ast.CaseExpression):
+            # The operand and the first WHEN condition always run; later
+            # conditions, THEN results, and ELSE are conditional.
+            if node.operand is not None:
+                visit(node.operand)
+            if node.branches:
+                visit(node.branches[0][0])
+        elif isinstance(node, ast.CastExpression):
+            visit(node.operand)
+        elif isinstance(node, ast.BetweenExpression):
+            visit(node.operand)
+            visit(node.lower)
+            visit(node.upper)
+        elif isinstance(node, ast.LikeExpression):
+            visit(node.operand)
+            visit(node.pattern)
+        elif isinstance(node, ast.IsNullExpression):
+            visit(node.operand)
+        elif isinstance(node, (ast.InList, ast.InSubquery)):
+            visit(node.operand)  # items short-circuit on a NULL subject
+        # Literal / ColumnRef / Star / EXISTS / scalar subquery: no
+        # strict expression children.
+
+    visit(expression)
+    return found
+
+
+def plan_batched_expressions(
+    expressions: list[ast.Expression],
+    layout: RowLayout,
+    functions: "FunctionRegistry",
+    subquery_planner: "Planner | None" = None,
+) -> tuple[list[UDFCallSite], list[Evaluator]]:
+    """Compile ``expressions`` with shared batched UDF call sites.
+
+    Extracts every strict expensive call across all expressions (so a
+    ``LLM(...)`` repeated between SELECT items resolves once), builds a
+    :class:`UDFCallSite` per distinct call, and compiles the residual
+    expressions with the sites spliced in.  Site order is inner-before-
+    outer, so a site's argument evaluators may reference earlier sites'
+    memoized results (nested LM UDFs batch in waves).
+    """
+    calls: list[ast.FunctionCall] = []
+    for expression in expressions:
+        for call in strict_expensive_calls(expression, functions):
+            if call not in calls:
+                calls.append(call)
+    overrides: dict[ast.FunctionCall, Evaluator] = {}
+    sites: list[UDFCallSite] = []
+    for call in calls:
+        compiler = ExpressionCompiler(
+            layout, functions, subquery_planner, call_overrides=dict(overrides)
+        )
+        site = UDFCallSite(
+            call.name.upper(),
+            functions.scalar(call.name),
+            functions.batch_function(call.name),
+            [compiler.compile(arg) for arg in call.args],
+        )
+        overrides[call] = site.evaluate
+        sites.append(site)
+    final = ExpressionCompiler(
+        layout, functions, subquery_planner, call_overrides=overrides
+    )
+    return sites, [final.compile(expression) for expression in expressions]
 
 
 # ---------------------------------------------------------------------------

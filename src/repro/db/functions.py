@@ -15,10 +15,17 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.db.sql import ast
 from repro.db.types import SQLValue, sort_key
 from repro.errors import ExecutionError
 
 ScalarFunction = Callable[..., SQLValue]
+
+#: Vectorised form of a scalar UDF: one call over many argument tuples,
+#: returning one result per tuple *in order*.  Must agree value-for-value
+#: with the scalar form — the batched executor treats the scalar form as
+#: the oracle and property tests enforce the equivalence.
+BatchFunction = Callable[[Sequence[tuple[SQLValue, ...]]], Sequence[SQLValue]]
 
 
 @dataclass
@@ -37,23 +44,40 @@ class FunctionRegistry:
         self._scalars: dict[str, ScalarFunction] = {}
         self._aggregates: dict[str, AggregateSpec] = {}
         self._expensive: set[str] = set()
+        self._batch: dict[str, BatchFunction] = {}
         _register_builtin_scalars(self)
         _register_builtin_aggregates(self)
 
     # -- registration ----------------------------------------------------
 
     def register_scalar(
-        self, name: str, function: ScalarFunction, expensive: bool = False
+        self,
+        name: str,
+        function: ScalarFunction,
+        expensive: bool = False,
+        batch: BatchFunction | None = None,
     ) -> None:
         """Register a scalar function (UDF) under ``name``.
 
         ``expensive=True`` tags it for optimizer deferral (used for LM
         UDFs, whose per-row cost dwarfs relational predicates).
+
+        ``batch`` optionally supplies a vectorised form: called with a
+        list of argument tuples, it returns one result per tuple in
+        order, and must agree value-for-value with ``function``.  The
+        batched execution path (:class:`repro.db.plan.BatchedFilter` /
+        ``BatchedProject``) dispatches one ``batch`` call per morsel of
+        distinct argument tuples — for an LM UDF this is where per-row
+        ``complete()`` turns into one ``complete_batch()``.  Without
+        ``batch``, the batched path still deduplicates and memoizes but
+        invokes ``function`` once per distinct tuple.
         """
         upper = name.upper()
         self._scalars[upper] = function
         if expensive:
             self._expensive.add(upper)
+        if batch is not None:
+            self._batch[upper] = batch
 
     def register_aggregate(self, name: str, spec: AggregateSpec) -> None:
         self._aggregates[name.upper()] = spec
@@ -80,6 +104,26 @@ class FunctionRegistry:
 
     def is_expensive(self, name: str) -> bool:
         return name.upper() in self._expensive
+
+    def batch_function(self, name: str) -> BatchFunction | None:
+        """The registered vectorised form of ``name``, if any."""
+        return self._batch.get(name.upper())
+
+    def contains_expensive(self, expression: ast.Expression) -> bool:
+        """True when any expensive call appears anywhere in ``expression``.
+
+        Walks the full tree — including CASE branches, COALESCE/IIF
+        arguments, IN lists, and LIKE/BETWEEN operands — so a conjunct
+        like ``COALESCE(LLM(x), 'no') = 'yes'`` is correctly deferred
+        behind cheap relational predicates.  This is the single source
+        of truth for expensive-conjunct detection; the planner and the
+        static analyzer both defer to it.
+        """
+        return any(
+            isinstance(node, ast.FunctionCall)
+            and self.is_expensive(node.name)
+            for node in ast.walk(expression)
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -10,12 +10,21 @@ from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Callable, Iterator
+from itertools import islice
 
-from repro.db.expr import Evaluator, is_true
+from repro.db.expr import (
+    Evaluator,
+    MemoKey,
+    UDFCallError,
+    UDFCallSite,
+    is_true,
+)
 from repro.db.functions import AggregateSpec
 from repro.db.result import Row, RowLayout
 from repro.db.table import Table
 from repro.db.types import SQLValue, sort_key
+from repro.db.udfcache import UDFMemoCache
+from repro.errors import ExecutionError
 
 
 class PlanNode:
@@ -123,6 +132,244 @@ class Project(PlanNode):
 
     def _describe(self) -> str:
         return f"Project({', '.join(self.layout.names)})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class UDFExecContext:
+    """Shared execution context for the batched UDF operators.
+
+    Carries the :class:`~repro.db.Database`'s cross-statement memo
+    cache plus optional mirrors: a :class:`~repro.lm.usage.Usage`
+    (its ``udf_cache_hits``/``udf_cache_misses`` fields) and a metrics
+    registry (duck-typed ``counter(name).inc(n)``).  Each operator owns
+    an ``exec_stats`` dict surfaced by EXPLAIN ANALYZE; :meth:`tally`
+    is the single meter — every increment lands in the operator's
+    stats and is mirrored to the bound sinks, so the three surfaces can
+    never disagree.
+    """
+
+    #: Metric name per exec-stats key (only cache traffic is exported;
+    #: LM calls/batches are already metered by the model's own Usage).
+    _METRIC_NAMES = {
+        "udf_cache_hits": "repro_udf_cache_hits_total",
+        "udf_cache_misses": "repro_udf_cache_misses_total",
+    }
+    _USAGE_FIELDS = ("udf_cache_hits", "udf_cache_misses")
+
+    def __init__(
+        self,
+        cache: UDFMemoCache | None = None,
+        usage: object | None = None,
+        metrics: object | None = None,
+    ) -> None:
+        self.cache = cache
+        self.usage = usage
+        self.metrics = metrics
+
+    def tally(self, stats: dict[str, int], key: str, amount: int) -> None:
+        if amount == 0:
+            return
+        stats[key] = stats.get(key, 0) + amount
+        if self.usage is not None and key in self._USAGE_FIELDS:
+            setattr(self.usage, key, getattr(self.usage, key) + amount)
+        if self.metrics is not None:
+            metric = self._METRIC_NAMES.get(key)
+            if metric is not None:
+                self.metrics.counter(metric).inc(amount)
+
+
+def _fresh_exec_stats() -> dict[str, int]:
+    """Pre-seeded so EXPLAIN ANALYZE renders a fixed, complete key order."""
+    return {
+        "lm_calls": 0,
+        "lm_batches": 0,
+        "udf_cache_hits": 0,
+        "udf_cache_misses": 0,
+    }
+
+
+def _resolve_morsel(
+    sites: list[UDFCallSite],
+    rows: list[Row],
+    context: UDFExecContext,
+    stats: dict[str, int],
+) -> None:
+    """Resolve every strict UDF call for a morsel of rows, in waves.
+
+    Sites arrive inner-before-outer, so by the time an outer site's
+    argument evaluators run, any nested call they read is already
+    memoized.  Per site: evaluate each row's argument tuple (rows whose
+    arguments error are skipped — the residual phase re-raises the same
+    error at the same row), serve duplicates and cache hits for free,
+    then dispatch the remaining distinct tuples as one batch call (or
+    per-tuple scalar calls when no batch form is registered or the
+    batch dispatch fails).
+
+    Counter contract: ``udf_cache_hits`` counts row-occurrences served
+    without a new invocation (statement memo, cross-statement LRU, or
+    intra-morsel dedup); ``udf_cache_misses`` and ``lm_calls`` count
+    dispatched invocations; ``lm_batches`` counts batch dispatches.
+    """
+    for site in sites:
+        pending: list[MemoKey] = []
+        pending_keys: set[MemoKey] = set()
+        hits = 0
+        for row in rows:
+            try:
+                key = site.key(row)
+            except Exception:
+                continue  # argument error; re-raised per row later
+            if key in site.memo or key in pending_keys:
+                hits += 1
+                continue
+            if context.cache is not None:
+                found, value = context.cache.lookup(key)
+                if found:
+                    site.memo[key] = value
+                    hits += 1
+                    continue
+            pending_keys.add(key)
+            pending.append(key)
+        context.tally(stats, "udf_cache_hits", hits)
+        if not pending:
+            continue
+        context.tally(stats, "udf_cache_misses", len(pending))
+        context.tally(stats, "lm_calls", len(pending))
+        resolved: list[SQLValue] | None = None
+        if site.batch_function is not None:
+            context.tally(stats, "lm_batches", 1)
+            try:
+                resolved = list(
+                    site.batch_function([key[1] for key in pending])
+                )
+            except Exception:
+                # Fall back to per-tuple scalar calls so each failing
+                # tuple is attributed (and wrapped) exactly as the
+                # per-row oracle path would attribute it.
+                resolved = None
+            else:
+                if len(resolved) != len(pending):
+                    raise ExecutionError(
+                        f"batch form of {site.name} returned "
+                        f"{len(resolved)} results for {len(pending)} "
+                        "argument tuples"
+                    )
+        if resolved is not None:
+            for key, value in zip(pending, resolved):
+                site.memo[key] = value
+                if context.cache is not None:
+                    context.cache.put(key, value)
+        else:
+            for key in pending:
+                value = site.call_scalar(key[1])
+                site.memo[key] = value
+                if context.cache is not None and not isinstance(
+                    value, UDFCallError
+                ):
+                    context.cache.put(key, value)
+
+
+class BatchedFilter(PlanNode):
+    """Filter with vectorized expensive-UDF resolution.
+
+    Pulls morsels of ``batch_size`` rows, resolves every strict
+    expensive call through :func:`_resolve_morsel`, then applies the
+    residual predicate per row — identical rows, order, and error
+    behaviour to :class:`Filter` over the same predicate.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        predicate: Evaluator,
+        sites: list[UDFCallSite],
+        context: UDFExecContext,
+        batch_size: int,
+        label: str = "",
+    ) -> None:
+        if batch_size < 1:
+            raise ExecutionError(
+                f"udf_batch_size must be >= 1, got {batch_size}"
+            )
+        self.child = child
+        self.predicate = predicate
+        self.sites = sites
+        self.context = context
+        self.batch_size = batch_size
+        self.label = label
+        self.layout = child.layout
+        self.exec_stats = _fresh_exec_stats()
+
+    def execute(self) -> Iterator[Row]:
+        predicate = self.predicate
+        source = self.child.execute()
+        while True:
+            morsel = list(islice(source, self.batch_size))
+            if not morsel:
+                return
+            _resolve_morsel(
+                self.sites, morsel, self.context, self.exec_stats
+            )
+            for row in morsel:
+                if is_true(predicate(row)):
+                    yield row
+
+    def _describe(self) -> str:
+        label = f"{self.label}, " if self.label else ""
+        return (
+            f"BatchedFilter({label}batch={self.batch_size}, "
+            f"sites={len(self.sites)})"
+        )
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class BatchedProject(PlanNode):
+    """Project with vectorized expensive-UDF resolution (see
+    :class:`BatchedFilter`)."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        evaluators: list[Evaluator],
+        layout: RowLayout,
+        sites: list[UDFCallSite],
+        context: UDFExecContext,
+        batch_size: int,
+    ) -> None:
+        if batch_size < 1:
+            raise ExecutionError(
+                f"udf_batch_size must be >= 1, got {batch_size}"
+            )
+        self.child = child
+        self.evaluators = evaluators
+        self.layout = layout
+        self.sites = sites
+        self.context = context
+        self.batch_size = batch_size
+        self.exec_stats = _fresh_exec_stats()
+
+    def execute(self) -> Iterator[Row]:
+        evaluators = self.evaluators
+        source = self.child.execute()
+        while True:
+            morsel = list(islice(source, self.batch_size))
+            if not morsel:
+                return
+            _resolve_morsel(
+                self.sites, morsel, self.context, self.exec_stats
+            )
+            for row in morsel:
+                yield tuple(evaluate(row) for evaluate in evaluators)
+
+    def _describe(self) -> str:
+        return (
+            f"BatchedProject({', '.join(self.layout.names)}, "
+            f"batch={self.batch_size}, sites={len(self.sites)})"
+        )
 
     def _children(self) -> list[PlanNode]:
         return [self.child]

@@ -33,7 +33,7 @@ from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
 from repro.db import plan as physical
-from repro.db.expr import ExpressionCompiler
+from repro.db.expr import ExpressionCompiler, plan_batched_expressions
 from repro.db.functions import AggregateSpec, FunctionRegistry
 from repro.db.result import ResultSet, Row, RowLayout
 from repro.db.sql import ast
@@ -62,10 +62,16 @@ class Planner:
         catalog: "Database",
         functions: FunctionRegistry,
         optimize: bool = True,
+        udf_batch_size: int | None = None,
+        udf_context: "physical.UDFExecContext | None" = None,
     ) -> None:
         self._catalog = catalog
         self._functions = functions
         self._optimize = optimize
+        #: When set, expensive-UDF filters and projections become
+        #: morsel-driven Batched* operators over morsels of this size.
+        self._udf_batch_size = udf_batch_size
+        self._udf_context = udf_context
 
     # ------------------------------------------------------------------
     # public entry points
@@ -329,11 +335,41 @@ class Planner:
                 node, compiler.compile(_and_all(cheap)), label="where"
             )
         for conjunct in expensive:
-            compiler = self._compiler(node.layout)
-            node = physical.Filter(
-                node, compiler.compile(conjunct), label="where[expensive]"
-            )
+            node = self._expensive_filter(node, conjunct)
         return node
+
+    def _expensive_filter(
+        self, node: physical.PlanNode, conjunct: ast.Expression
+    ) -> physical.PlanNode:
+        """One expensive conjunct: batched when enabled, per-row else.
+
+        A conjunct whose expensive calls sit only in conditional
+        positions (the right side of AND/OR, non-first CASE branches)
+        has no strict call sites to batch; it falls back to the per-row
+        oracle path, which preserves short-circuit semantics exactly.
+        """
+        if self._udf_batch_size is not None:
+            sites, evaluators = plan_batched_expressions(
+                [conjunct], node.layout, self._functions, self
+            )
+            if sites:
+                return physical.BatchedFilter(
+                    node,
+                    evaluators[0],
+                    sites,
+                    self._udf_exec_context(),
+                    self._udf_batch_size,
+                    label="where[expensive]",
+                )
+        compiler = self._compiler(node.layout)
+        return physical.Filter(
+            node, compiler.compile(conjunct), label="where[expensive]"
+        )
+
+    def _udf_exec_context(self) -> "physical.UDFExecContext":
+        if self._udf_context is None:
+            self._udf_context = physical.UDFExecContext()
+        return self._udf_context
 
     # ------------------------------------------------------------------
     # aggregation
@@ -524,48 +560,78 @@ class Planner:
             item.alias or _expression_name(item.expression)
             for item in items
         ]
-        compiler = self._compiler(source.layout)
-        item_evaluators = [
-            compiler.compile(item.expression) for item in items
-        ]
 
         # ORDER BY may reference output aliases, positional numbers, or
         # any expression over the pre-projection layout; extend the
         # projection with the extra expressions, sort, then slice back.
         sort_positions: list[int] = []
         ascending: list[bool] = []
-        extra_evaluators = []
+        extra_expressions: list[ast.Expression] = []
         extra_names: list[str] = []
         for order in order_items:
             position = self._order_target(order.expression, items, names)
             if position is not None:
                 sort_positions.append(position)
             else:
-                sort_positions.append(len(items) + len(extra_evaluators))
-                extra_evaluators.append(
-                    compiler.compile(order.expression)
-                )
+                sort_positions.append(len(items) + len(extra_expressions))
+                extra_expressions.append(order.expression)
                 extra_names.append(
                     _expression_name(order.expression)
                 )
             ascending.append(order.ascending)
 
+        expressions = [
+            item.expression for item in items
+        ] + extra_expressions
         layout = RowLayout(
             [(None, name) for name in names + extra_names]
         )
-        plan: physical.PlanNode = physical.Project(
-            source, item_evaluators + extra_evaluators, layout
-        )
+        plan = self._build_projection(source, expressions, layout)
         if sort_positions:
             keys = [
                 _position_getter(position) for position in sort_positions
             ]
             plan = physical.Sort(plan, keys, ascending)
-        if extra_evaluators:
+        if extra_expressions:
             plan = physical.Slice(plan, list(range(len(items))))
         if distinct:
             plan = physical.Distinct(plan)
         return plan, names
+
+    def _build_projection(
+        self,
+        source: physical.PlanNode,
+        expressions: list[ast.Expression],
+        layout: RowLayout,
+    ) -> physical.PlanNode:
+        """Project ``expressions``, batching expensive UDFs when enabled.
+
+        All projected expressions (SELECT items plus extra ORDER BY
+        expressions) share one call-site pool, so an LM call repeated
+        across items resolves once per distinct argument tuple.
+        """
+        if self._udf_batch_size is not None and any(
+            self._functions.contains_expensive(expression)
+            for expression in expressions
+        ):
+            sites, evaluators = plan_batched_expressions(
+                expressions, source.layout, self._functions, self
+            )
+            if sites:
+                return physical.BatchedProject(
+                    source,
+                    evaluators,
+                    layout,
+                    sites,
+                    self._udf_exec_context(),
+                    self._udf_batch_size,
+                )
+        compiler = self._compiler(source.layout)
+        return physical.Project(
+            source,
+            [compiler.compile(expression) for expression in expressions],
+            layout,
+        )
 
     def _order_target(
         self,
@@ -682,11 +748,7 @@ class Planner:
         return True
 
     def _is_expensive(self, expression: ast.Expression) -> bool:
-        return any(
-            isinstance(node, ast.FunctionCall)
-            and self._functions.is_expensive(node.name)
-            for node in _walk(expression)
-        )
+        return self._functions.contains_expensive(expression)
 
 
 # ---------------------------------------------------------------------------

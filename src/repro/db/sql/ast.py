@@ -6,6 +6,8 @@ planner walks them, so they carry no behaviour beyond ``__repr__``.
 
 from __future__ import annotations
 
+import dataclasses
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -257,3 +259,39 @@ class Delete:
 
 
 Statement = Union[Select, CreateTable, Insert, Update, Delete]
+
+
+# ---------------------------------------------------------------------------
+# Traversal
+# ---------------------------------------------------------------------------
+
+#: Dataclass fields holding a nested SELECT rather than an expression.
+SUBQUERY_FIELDS = ("subquery", "query")
+
+
+def walk(
+    expression: "Expression", into_subqueries: bool = False
+) -> Iterator["Expression"]:
+    """Yield every expression node in ``expression`` (pre-order).
+
+    Descends through tuples (CASE branches, IN lists, function
+    arguments) so nothing nested is missed; subquery SELECTs are opaque
+    unless ``into_subqueries`` is set.
+    """
+    yield expression
+    if not dataclasses.is_dataclass(expression):
+        return
+    for f in dataclasses.fields(expression):
+        if not into_subqueries and f.name in SUBQUERY_FIELDS:
+            continue
+        yield from _walk_value(
+            getattr(expression, f.name), into_subqueries
+        )
+
+
+def _walk_value(value: object, into_subqueries: bool) -> Iterator:
+    if isinstance(value, tuple):
+        for element in value:
+            yield from _walk_value(element, into_subqueries)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, Select):
+        yield from walk(value, into_subqueries)  # type: ignore[arg-type]

@@ -130,6 +130,16 @@ class Table:
         position = self.schema.column_index(name)
         return [row[position] for row in self._rows]
 
+    def distinct_count(self, name: str) -> int:
+        """Number of distinct values in a column (catalog statistic).
+
+        The static analyzer uses this to bound batched LM-UDF cost: a
+        deduplicating execution path invokes the UDF at most once per
+        distinct argument value, not once per row.
+        """
+        position = self.schema.column_index(name)
+        return len({row[position] for row in self._rows})
+
     def to_dicts(self) -> list[dict[str, SQLValue]]:
         names = self.schema.column_names
         return [dict(zip(names, row)) for row in self._rows]

@@ -24,6 +24,7 @@ from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.latency import LatencyModel
 from repro.lm.model import LMConfig, LMResponse, SimulatedLM
 from repro.lm.tokenizer import count_tokens
+from repro.lm.udf import register_llm_judge
 from repro.lm.usage import Usage
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "SimulatedLM",
     "Usage",
     "count_tokens",
+    "register_llm_judge",
 ]

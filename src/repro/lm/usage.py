@@ -14,6 +14,15 @@ class Usage:
     stored response without touching the model, so it increments no
     call/token/latency counter — cached work is never double-metered.
 
+    ``udf_cache_hits``/``udf_cache_misses`` are metered by the SQL
+    engine's batched UDF operators (and the semantic engine's prompt
+    dedup) when a :class:`~repro.db.Database` is bound to this Usage
+    via ``bind_udf_meters``: a hit is a row-occurrence of an expensive
+    UDF served from the memo cache or intra-batch dedup without a new
+    invocation, a miss is a dispatched invocation.  Like the prompt
+    cache, hits touch no model counter, so
+    ``calls == udf_cache_misses`` on a pure batched-UDF workload.
+
     Retry metering contract.  Each *logical* request meters its cache
     hit/miss exactly once, at first submission: when a delivery errors
     and the resilience layer re-submits the same prompt, the retry is a
@@ -46,6 +55,8 @@ class Usage:
     context_errors: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    udf_cache_hits: int = 0
+    udf_cache_misses: int = 0
     faults_injected: int = 0
     retries: int = 0
     breaker_trips: int = 0

@@ -57,11 +57,21 @@ DEFAULT_COST = OperatorCostModel()
 
 @dataclass
 class OperatorStats:
-    """Observed flow through one plan operator."""
+    """Observed flow through one plan operator.
+
+    ``extra`` holds operator-specific counters: at instrumentation
+    time it is bound to the *same dict object* as the plan node's
+    ``exec_stats`` attribute (batched UDF operators expose LM call,
+    batch, and cache counters there), so the values are live after
+    execution without relying on generator finalization order.  Nodes
+    without ``exec_stats`` get an empty dict and render exactly as
+    before.
+    """
 
     describe: str
     rows_out: int = 0
     children: list["OperatorStats"] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
 
     @property
     def rows_in(self) -> int:
@@ -111,7 +121,11 @@ def instrument_plan(node) -> tuple[object, OperatorStats]:
             proxy, stats = instrument_plan(child)
             setattr(node, attr, proxy)
             child_stats.append(stats)
-    stats = OperatorStats(describe=node.describe(), children=child_stats)
+    stats = OperatorStats(
+        describe=node.describe(),
+        children=child_stats,
+        extra=getattr(node, "exec_stats", None) or {},
+    )
     return _CountingNode(node, stats), stats
 
 
@@ -121,10 +135,14 @@ def render_stats(
     depth: int = 0,
 ) -> str:
     """The ``explain()`` tree, annotated with per-operator statistics."""
+    extra = "".join(
+        f" {key}={value}" for key, value in stats.extra.items()
+    )
     line = (
         "  " * depth
         + f"{stats.describe} [rows_in={stats.rows_in} "
-        + f"rows_out={stats.rows_out} vtime={cost.seconds(stats):.6f}s]"
+        + f"rows_out={stats.rows_out} vtime={cost.seconds(stats):.6f}s"
+        + f"{extra}]"
     )
     lines = [line]
     for child in stats.children:

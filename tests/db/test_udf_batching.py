@@ -1,0 +1,312 @@
+"""Batched UDF execution: equivalence with the per-row oracle path.
+
+The per-row path (``udf_batch_size=None``) is the correctness oracle;
+the batched path must produce identical rows, identical order, and
+identical error behaviour for every query, batch size, and dataset.
+Property tests sweep ``udf_batch_size in {1, 7, 64}`` over random
+duplicate-heavy tables and a pool of query shapes covering WHERE,
+SELECT, ORDER BY, CASE/COALESCE nesting, and nested UDF calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.errors import ExecutionError
+
+BATCH_SIZES = [1, 7, 64]
+
+WORDS = ["apple", "banana", "cherry", "plum", "fig"]
+
+
+class CountingUDF:
+    """Deterministic expensive UDF with scalar and batch forms.
+
+    The batch form reuses the scalar body per tuple, so the two forms
+    agree by construction; invocation counts let tests assert the
+    batched path really deduplicates.
+    """
+
+    def __init__(self, fail_on: str | None = None):
+        self.scalar_calls = 0
+        self.batch_calls = 0
+        self.batch_tuples = 0
+        self.fail_on = fail_on
+
+    def _judge(self, value):
+        if value is None:
+            return None
+        if self.fail_on is not None and value == self.fail_on:
+            raise ValueError(f"cannot judge {value!r}")
+        return str(value).upper()
+
+    def scalar(self, value):
+        self.scalar_calls += 1
+        return self._judge(value)
+
+    def batch(self, tuples):
+        self.batch_calls += 1
+        self.batch_tuples += len(tuples)
+        return [self._judge(value) for (value,) in tuples]
+
+
+def make_database(rows, udf: CountingUDF, with_batch=True) -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("s", DataType.TEXT),
+                Column("n", DataType.INTEGER),
+            ],
+        )
+    )
+    db.insert("t", rows)
+    db.register_udf(
+        "SLOW",
+        udf.scalar,
+        expensive=True,
+        batch=udf.batch if with_batch else None,
+    )
+    return db
+
+
+@st.composite
+def tables(draw):
+    row_count = draw(st.integers(min_value=0, max_value=40))
+    return [
+        (
+            draw(st.sampled_from(WORDS + [None])),
+            draw(st.one_of(st.none(), st.integers(-5, 5))),
+        )
+        for _ in range(row_count)
+    ]
+
+
+QUERIES = [
+    "SELECT s, n FROM t WHERE SLOW(s) = 'APPLE'",
+    "SELECT SLOW(s) FROM t",
+    "SELECT s, SLOW(s), n FROM t WHERE SLOW(s) <> 'FIG' AND n > 0",
+    "SELECT n FROM t WHERE COALESCE(SLOW(s), 'none') = 'none'",
+    "SELECT s FROM t WHERE CASE WHEN SLOW(s) = 'PLUM' THEN 1 "
+    "ELSE 0 END = 0 ORDER BY n, s",
+    "SELECT SLOW(s) AS j, COUNT(*) AS c FROM t GROUP BY s "
+    "ORDER BY c DESC, j",
+    "SELECT s FROM t WHERE SLOW(SLOW(s)) = 'APPLE'",
+    "SELECT DISTINCT SLOW(s) FROM t ORDER BY 1",
+    "SELECT s, n FROM t WHERE n >= 0 AND SLOW(s) = 'BANANA' "
+    "ORDER BY n DESC LIMIT 5",
+]
+
+
+def run_oracle(rows, sql):
+    """The per-row path; returns (columns, rows) or the error string."""
+    udf = CountingUDF()
+    db = make_database(rows, udf)
+    try:
+        result = db.execute(sql)
+    except ExecutionError as error:
+        return ("error", str(error))
+    return (result.columns, result.rows)
+
+
+def run_batched(rows, sql, batch_size, with_batch=True):
+    udf = CountingUDF()
+    db = make_database(rows, udf, with_batch=with_batch)
+    try:
+        result = db.execute(sql, udf_batch_size=batch_size)
+    except ExecutionError as error:
+        return ("error", str(error))
+    return (result.columns, result.rows)
+
+
+class TestEquivalence:
+    @given(rows=tables(), query=st.sampled_from(QUERIES))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_path_matches_oracle(self, rows, query):
+        expected = run_oracle(rows, query)
+        for batch_size in BATCH_SIZES:
+            assert run_batched(rows, query, batch_size) == expected
+
+    @given(rows=tables(), query=st.sampled_from(QUERIES))
+    @settings(max_examples=30, deadline=None)
+    def test_batched_path_without_batch_form_matches_oracle(
+        self, rows, query
+    ):
+        expected = run_oracle(rows, query)
+        assert run_batched(rows, query, 7, with_batch=False) == expected
+
+    @given(rows=tables())
+    @settings(max_examples=30, deadline=None)
+    def test_dedup_never_calls_more_than_distinct_values(self, rows):
+        udf = CountingUDF()
+        db = make_database(rows, udf)
+        db.execute("SELECT SLOW(s) FROM t", udf_batch_size=64)
+        distinct = len({s for s, _ in rows})
+        assert udf.scalar_calls == 0
+        assert udf.batch_tuples <= distinct
+
+
+class TestErrorEquivalence:
+    ROWS = [("apple", 1), ("banana", 2), ("poison", 3), ("fig", 4)]
+
+    def _oracle_error(self, sql):
+        udf = CountingUDF(fail_on="poison")
+        db = make_database(self.ROWS, udf)
+        with pytest.raises(ExecutionError) as caught:
+            db.execute(sql)
+        return str(caught.value)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_udf_error_is_identical(self, batch_size):
+        sql = "SELECT s FROM t WHERE SLOW(s) = 'APPLE'"
+        expected = self._oracle_error(sql)
+        udf = CountingUDF(fail_on="poison")
+        db = make_database(self.ROWS, udf)
+        with pytest.raises(ExecutionError) as caught:
+            db.execute(sql, udf_batch_size=batch_size)
+        assert str(caught.value) == expected
+        assert "error in function SLOW" in expected
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_rows_before_the_failing_row_still_stream(self, batch_size):
+        """Lazy prefix equivalence: rows ahead of the error are yielded."""
+        udf = CountingUDF(fail_on="poison")
+        db = make_database(self.ROWS, udf)
+        planner = db._planner(True, batch_size)
+        from repro.db.sql import parse_statement
+
+        plan, _ = planner.plan_select(
+            parse_statement("SELECT s FROM t WHERE SLOW(s) <> 'X'")
+        )
+        produced = []
+        with pytest.raises(ExecutionError):
+            for row in plan.execute():
+                produced.append(row)
+        assert produced == [("apple",), ("banana",)]
+
+    def test_errors_are_not_cached_across_statements(self):
+        udf = CountingUDF(fail_on="poison")
+        db = make_database([("poison", 1)], udf)
+        for _ in range(2):
+            with pytest.raises(ExecutionError):
+                db.execute("SELECT SLOW(s) FROM t", udf_batch_size=8)
+        assert len(db.udf_cache) == 0
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_argument_error_is_identical(self, batch_size):
+        """An error in the UDF's *argument* surfaces like the oracle's."""
+        sql = "SELECT s FROM t WHERE SLOW(s || n) = 'X'"
+        rows = [("apple", 1), ("banana", None), ("fig", 2)]
+        udf = CountingUDF()
+        db = make_database(rows, udf)
+        oracle = db.execute(sql)
+        udf2 = CountingUDF()
+        db2 = make_database(rows, udf2)
+        batched = db2.execute(sql, udf_batch_size=batch_size)
+        assert batched.rows == oracle.rows
+
+
+class TestMemoCache:
+    def test_repeated_statements_are_served_from_the_cache(self):
+        udf = CountingUDF()
+        rows = [("apple", 1), ("banana", 2), ("apple", 3)]
+        db = make_database(rows, udf)
+        first = db.execute("SELECT SLOW(s) FROM t", udf_batch_size=8)
+        assert udf.batch_tuples == 2  # apple, banana
+        second = db.execute("SELECT SLOW(s) FROM t", udf_batch_size=8)
+        assert udf.batch_tuples == 2  # fully memoized
+        assert udf.scalar_calls == 0
+        assert first.rows == second.rows
+
+    def test_capacity_zero_disables_cross_statement_reuse(self):
+        udf = CountingUDF()
+        rows = [("apple", 1), ("apple", 2)]
+        db = Database(udf_cache_capacity=0)
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("s", DataType.TEXT),
+                    Column("n", DataType.INTEGER),
+                ],
+            )
+        )
+        db.insert("t", rows)
+        db.register_udf(
+            "SLOW", udf.scalar, expensive=True, batch=udf.batch
+        )
+        db.execute("SELECT SLOW(s) FROM t", udf_batch_size=8)
+        db.execute("SELECT SLOW(s) FROM t", udf_batch_size=8)
+        # Intra-statement dedup still collapses duplicates, but nothing
+        # carries across statements.
+        assert udf.batch_tuples == 2
+
+    def test_lru_evicts_least_recently_used(self):
+        from repro.db.udfcache import UDFMemoCache
+
+        cache = UDFMemoCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.lookup("a") == (True, 1)  # promotes a
+        cache.put("c", 3)  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+
+class TestPlanShapes:
+    def test_case_nested_udf_is_deferred_and_batched(self):
+        """Expensive calls inside CASE/COALESCE still defer + batch."""
+        udf = CountingUDF()
+        db = make_database([("apple", 1)], udf)
+        for predicate in (
+            "COALESCE(SLOW(s), 'z') = 'APPLE'",
+            "CASE WHEN SLOW(s) = 'APPLE' THEN 1 ELSE 0 END = 1",
+        ):
+            rendered = db.explain(
+                f"SELECT n FROM t WHERE n > 0 AND {predicate}",
+                udf_batch_size=16,
+            )
+            lines = rendered.splitlines()
+            batched = next(
+                index
+                for index, line in enumerate(lines)
+                if "BatchedFilter(where[expensive]" in line
+            )
+            cheap = next(
+                index
+                for index, line in enumerate(lines)
+                if "Filter(where)" in line
+            )
+            # Deferred: the expensive batched filter runs above (after)
+            # the cheap predicate, which prunes rows first.
+            assert batched < cheap
+
+    def test_conditional_only_udf_falls_back_to_per_row(self):
+        """No strict call site -> per-row Filter keeps short-circuits."""
+        udf = CountingUDF()
+        db = make_database([("apple", 1)], udf)
+        rendered = db.explain(
+            "SELECT n FROM t WHERE n > 0 OR SLOW(s) = 'APPLE'",
+            udf_batch_size=16,
+        )
+        assert "BatchedFilter" not in rendered
+        assert "Filter(where[expensive])" in rendered
+
+    def test_projection_sites_are_shared_across_items(self):
+        udf = CountingUDF()
+        rows = [("apple", 1), ("banana", 2)]
+        db = make_database(rows, udf)
+        db.execute(
+            "SELECT SLOW(s), SLOW(s) || '!' FROM t", udf_batch_size=8
+        )
+        assert udf.batch_tuples == 2  # one site, not one per item
+
+    def test_default_path_is_unchanged(self):
+        udf = CountingUDF()
+        db = make_database([("apple", 1)], udf)
+        rendered = db.explain("SELECT SLOW(s) FROM t WHERE SLOW(s) = 'X'")
+        assert "Batched" not in rendered

@@ -1,0 +1,186 @@
+"""Exact LM-UDF counters: Usage fields, metrics, per-node EXPLAIN stats.
+
+These tests pin the full accounting contract of the batched UDF path
+for a golden query: ``udf_cache_misses == lm_calls`` (each miss is a
+dispatched invocation), ``udf_cache_hits`` counts row-occurrences
+served without an invocation (intra-morsel dedup, statement memo, or
+the cross-statement LRU), and every number is mirrored identically to
+the bound :class:`~repro.lm.usage.Usage`, the
+:class:`~repro.obs.metrics.MetricsRegistry`, and the owning plan
+node's EXPLAIN ANALYZE line.
+"""
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.lm import SimulatedLM, Usage, register_llm_judge
+from repro.obs.metrics import MetricsRegistry
+
+#: Duplicate-heavy golden data: 8 rows, 3 distinct judged values.
+ROWS = [
+    ("thriller", 1),
+    ("comedy", 2),
+    ("thriller", 3),
+    ("romance", 4),
+    ("comedy", 5),
+    ("thriller", 6),
+    ("romance", 7),
+    ("comedy", 8),
+]
+
+GOLDEN_SQL = "SELECT s, SLOW(s) AS j FROM t WHERE SLOW(s) <> 'X' ORDER BY n"
+
+GOLDEN_ANALYZE = """\
+Slice([0, 1]) [rows_in=8 rows_out=8 vtime=0.000116s]
+  Sort(1 key(s)) [rows_in=8 rows_out=8 vtime=0.000116s]
+    BatchedProject(s, j, n, batch=4, sites=1) [rows_in=8 rows_out=8 vtime=0.000116s lm_calls=0 lm_batches=0 udf_cache_hits=8 udf_cache_misses=0]
+      BatchedFilter(where[expensive], batch=4, sites=1) [rows_in=8 rows_out=8 vtime=0.000116s lm_calls=3 lm_batches=1 udf_cache_hits=5 udf_cache_misses=3]
+        Scan(t AS t) [rows_in=0 rows_out=8 vtime=0.000108s]"""
+
+
+def build_database() -> tuple[Database, Usage, MetricsRegistry]:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("s", DataType.TEXT),
+                Column("n", DataType.INTEGER),
+            ],
+        )
+    )
+    db.insert("t", ROWS)
+    usage = Usage()
+    metrics = MetricsRegistry()
+
+    def scalar(value):
+        return str(value).upper()
+
+    def batch(tuples):
+        return [str(value).upper() for (value,) in tuples]
+
+    db.register_udf("SLOW", scalar, expensive=True, batch=batch)
+    db.bind_udf_meters(usage=usage, metrics=metrics)
+    return db, usage, metrics
+
+
+class TestExactCounters:
+    def test_golden_query_counter_contract(self):
+        db, usage, metrics = build_database()
+        db.execute(GOLDEN_SQL, udf_batch_size=4)
+        # 8 rows, 3 distinct values.  The filter's first morsel of 4
+        # dispatches 3 distinct tuples (1 intra-morsel duplicate); the
+        # second morsel of 4 is fully covered by the statement memo.
+        # The projection reuses the same memo for all 8 occurrences.
+        assert usage.udf_cache_misses == 3
+        assert usage.udf_cache_hits == 13  # (1 + 4) filter + 8 project
+        snapshot = metrics.snapshot()
+        assert snapshot["repro_udf_cache_misses_total"] == 3
+        assert snapshot["repro_udf_cache_hits_total"] == 13
+
+    def test_second_statement_is_all_hits(self):
+        db, usage, _ = build_database()
+        db.execute(GOLDEN_SQL, udf_batch_size=4)
+        misses_after_first = usage.udf_cache_misses
+        db.execute(GOLDEN_SQL, udf_batch_size=4)
+        assert usage.udf_cache_misses == misses_after_first
+        assert usage.udf_cache_hits == 13 + 16  # every occurrence hits
+
+    def test_llm_judge_meters_model_usage(self):
+        """The real LM UDF: lm_calls on Usage equals dispatched prompts,
+        batches are paid once per morsel dispatch."""
+        db = Database()
+        db.create_table(TableSchema("t", [Column("s", DataType.TEXT)]))
+        db.insert("t", [(s,) for s, _ in ROWS])
+        lm = SimulatedLM()
+        register_llm_judge(db, lm)
+        result = db.execute(
+            "SELECT s, LLM('a genre', s) FROM t", udf_batch_size=8
+        )
+        assert len(result.rows) == 8
+        assert lm.usage.calls == 3  # one per distinct genre
+        assert lm.usage.batches == 1  # one morsel covers the table
+        assert lm.usage.udf_cache_misses == 3
+        assert lm.usage.udf_cache_hits == 5
+
+    def test_llm_judge_batched_matches_scalar_oracle(self):
+        def run(udf_batch_size):
+            db = Database()
+            db.create_table(
+                TableSchema("t", [Column("s", DataType.TEXT)])
+            )
+            db.insert("t", [(s,) for s, _ in ROWS])
+            lm = SimulatedLM()
+            register_llm_judge(db, lm)
+            result = db.execute(
+                "SELECT s, LLM('a genre', s) FROM t",
+                udf_batch_size=udf_batch_size,
+            )
+            return result.rows, lm.usage.calls
+
+        oracle_rows, oracle_calls = run(None)
+        batched_rows, batched_calls = run(8)
+        assert batched_rows == oracle_rows
+        assert batched_calls < oracle_calls  # 3 distinct vs 8 per-row
+
+
+class TestGoldenAnalyze:
+    def test_golden_render_with_per_node_lm_stats(self):
+        db, _, _ = build_database()
+        analyzed = db.explain_analyze(GOLDEN_SQL, udf_batch_size=4)
+        assert analyzed.render() == GOLDEN_ANALYZE
+
+    def test_render_is_deterministic(self):
+        first = build_database()[0]
+        second = build_database()[0]
+        assert first.explain_analyze(
+            GOLDEN_SQL, udf_batch_size=4
+        ).render() == second.explain_analyze(
+            GOLDEN_SQL, udf_batch_size=4
+        ).render()
+
+    def test_per_node_stats_sum_to_usage(self):
+        db, usage, _ = build_database()
+        analyzed = db.explain_analyze(GOLDEN_SQL, udf_batch_size=4)
+        hits = sum(
+            stats.extra.get("udf_cache_hits", 0)
+            for stats in analyzed.stats.walk()
+        )
+        misses = sum(
+            stats.extra.get("udf_cache_misses", 0)
+            for stats in analyzed.stats.walk()
+        )
+        assert hits == usage.udf_cache_hits
+        assert misses == usage.udf_cache_misses
+
+    def test_unbatched_plan_has_no_extra_stats(self):
+        db, _, _ = build_database()
+        analyzed = db.explain_analyze(GOLDEN_SQL)
+        assert "lm_calls" not in analyzed.render()
+
+    def test_results_match_between_analyze_and_execute(self):
+        db, _, _ = build_database()
+        analyzed = db.explain_analyze(GOLDEN_SQL, udf_batch_size=4)
+        plain = build_database()[0].execute(GOLDEN_SQL)
+        assert analyzed.result.rows == plain.rows
+        assert analyzed.result.columns == plain.columns
+
+
+class TestUsageFields:
+    def test_usage_udf_fields_default_zero(self):
+        usage = Usage()
+        assert usage.udf_cache_hits == 0
+        assert usage.udf_cache_misses == 0
+
+    def test_metrics_stay_silent_without_binding(self):
+        db, _, _ = build_database()
+        fresh = MetricsRegistry()
+        db.execute(GOLDEN_SQL, udf_batch_size=4)
+        assert "repro_udf_cache_hits_total" not in fresh.snapshot()
+
+    @pytest.mark.parametrize("batch_size", [1, 4, 64])
+    def test_miss_count_is_batch_size_invariant(self, batch_size):
+        """Misses = distinct tuples regardless of morsel geometry."""
+        db, usage, _ = build_database()
+        db.execute(GOLDEN_SQL, udf_batch_size=batch_size)
+        assert usage.udf_cache_misses == 3
