@@ -1,16 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke lint analyze-smoke trace-smoke verify
+.PHONY: test test-optimizer bench bench-smoke lint analyze-smoke trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The query-optimizer suites on their own: plan-equivalence harness,
+# golden EXPLAIN footers, selectivity regressions.
+test-optimizer:
+	$(PYTHON) -m pytest tests/db/test_optimizer_equivalence.py tests/db/test_optimizer_explain.py tests/analysis/test_selectivity.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py -q
 
 # Determinism linter over src/ (see repro.analysis.lint); exits
 # nonzero on any unsuppressed finding.

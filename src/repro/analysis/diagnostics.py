@@ -133,6 +133,13 @@ class CostEstimate:
     #: at most one invocation per distinct combination of argument
     #: column values (catalog distinct counts), capped by ``lm_calls``.
     lm_calls_batched: int = 0
+    #: *Expected* result rows after WHERE, from the shared selectivity
+    #: estimator (:func:`repro.analysis.cost.predicate_selectivity`).
+    #: Unlike every other field this is an expectation, not a bound —
+    #: the query optimizer uses it to rank plans; admission control
+    #: must keep using the worst-case fields above.  None when the
+    #: statement has no WHERE clause.
+    expected_result_rows: int | None = None
 
     @property
     def lm_tokens(self) -> int:

@@ -24,7 +24,11 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass, field, replace
 
-from repro.analysis.cost import CostModel
+from repro.analysis.cost import (
+    ColumnStats,
+    CostModel,
+    predicate_selectivity,
+)
 from repro.analysis.diagnostics import (
     CostEstimate,
     Diagnostic,
@@ -175,6 +179,11 @@ class _Scope:
     #: ``(binding_lower, column_lower)``.  Only stored-table columns
     #: appear; anything else falls back to the per-row bound.
     distinct: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Full per-column catalog statistics (rows/distinct/nulls) for the
+    #: shared selectivity estimator, same keying as ``distinct``.
+    stats: dict[tuple[str, str], ColumnStats] = field(
+        default_factory=dict
+    )
 
     def distinct_bound(self, name: str, table: str | None) -> int | None:
         """Distinct-value count for a column ref, if known."""
@@ -184,6 +193,20 @@ class _Scope:
         matches = [
             count
             for (_, column), count in self.distinct.items()
+            if column == lowered
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def column_stats(
+        self, name: str, table: str | None
+    ) -> ColumnStats | None:
+        """StatsLookup for :func:`predicate_selectivity`."""
+        lowered = name.lower()
+        if table is not None:
+            return self.stats.get((table.lower(), lowered))
+        matches = [
+            stats
+            for (_, column), stats in self.stats.items()
             if column == lowered
         ]
         return matches[0] if len(matches) == 1 else None
@@ -233,6 +256,10 @@ class _SelectInfo:
     rows_scanned: int
     #: Upper bound on result rows (grouping and LIMIT applied).
     result_rows: int
+    #: Expected rows after WHERE (selectivity estimate); None without
+    #: a WHERE clause.  An expectation, not a bound — see
+    #: :attr:`repro.analysis.CostEstimate.expected_result_rows`.
+    expected_rows: int | None = None
 
 
 @dataclass(frozen=True)
@@ -310,6 +337,7 @@ class SQLAnalyzer:
                 run.lm_calls * self.cost_model.output_tokens_per_call
             ),
             lm_calls_batched=run.lm_calls_batched,
+            expected_result_rows=info.expected_rows,
         )
         return QueryReport(
             sql=source_text, diagnostics=run.diagnostics, cost=cost
@@ -460,11 +488,26 @@ class _Run:
         self._check_limit(select.offset, "OFFSET")
 
         # Result-shape bookkeeping for parents and the cost estimate.
+        # result_rows stays a worst-case bound (WHERE may drop
+        # nothing); expected_rows applies the shared selectivity
+        # estimator, for the optimizer's plan ranking only.
         result_rows = from_rows
+        expected_rows: int | None = None
+        if select.where is not None:
+            expected_rows = round(
+                from_rows
+                * predicate_selectivity(
+                    select.where, scope.column_stats
+                )
+            )
         if is_aggregate_query and not group_by:
             result_rows = 1
+            if expected_rows is not None:
+                expected_rows = 1
         if limit_value is not None:
             result_rows = max(0, min(result_rows, limit_value))
+            if expected_rows is not None:
+                expected_rows = max(0, min(expected_rows, limit_value))
         return _SelectInfo(
             names=[
                 item.alias or _expression_name(item.expression)
@@ -473,6 +516,7 @@ class _Run:
             types=item_types,
             rows_scanned=from_rows,
             result_rows=result_rows,
+            expected_rows=expected_rows,
         )
 
     def _check_output_expression(
@@ -560,8 +604,18 @@ class _Run:
                 )
                 for column in table.schema.columns
             }
+            stats = {
+                (source.binding.lower(), column.name.lower()): (
+                    ColumnStats(
+                        rows=len(table),
+                        distinct=table.distinct_count(column.name),
+                        nulls=table.null_count(column.name),
+                    )
+                )
+                for column in table.schema.columns
+            }
             return (
-                _Scope(entries=entries, distinct=distinct),
+                _Scope(entries=entries, distinct=distinct, stats=stats),
                 max(len(table), 1),
             )
         if isinstance(source, ast.SubquerySource):
@@ -582,6 +636,7 @@ class _Run:
                 entries=left.entries + right.entries,
                 open=left.open or right.open,
                 distinct={**left.distinct, **right.distinct},
+                stats={**left.stats, **right.stats},
             )
             if source.condition is not None:
                 self._check(

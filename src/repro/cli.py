@@ -133,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Chrome trace_event file for the run",
     )
+    serve.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help=(
+            "disable the cost-based query optimizer (LM UDFs run "
+            "per-row in written predicate order)"
+        ),
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -303,17 +311,20 @@ def _command_serve(args) -> int:
 
     def factory(lm):
         # Deep-scan requests hit the expensive UDF on every row; the
-        # vectorized path (udf_batch_size) dedups+batches those calls.
+        # cost-based optimizer picks the vectorized route (morsel size
+        # from the distinct-value bound) unless --no-optimize pins the
+        # per-row path.
+        optimize = not args.no_optimize
         primary = TAGPipeline(
             _DemoSynthesizer(),
-            SQLExecutor(dataset.db, udf_batch_size=16),
+            SQLExecutor(dataset.db, optimize=optimize),
             SingleCallGenerator(lm, aggregation=True),
         )
         if args.no_fallback:
             return primary
         raw_table = TAGPipeline(
             _DemoSynthesizer(),
-            SQLExecutor(dataset.db, udf_batch_size=16),
+            SQLExecutor(dataset.db, optimize=optimize),
             NoGenerator(),
         )
         return FallbackPipeline([("tag", primary), ("table", raw_table)])

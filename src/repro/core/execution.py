@@ -22,15 +22,21 @@ class SQLExecutor:
         db: Database,
         max_rows: int | None = None,
         analyze: bool = False,
-        udf_batch_size: int | None = None,
+        udf_batch_size: "int | str | None" = "auto",
+        optimize: bool = True,
     ) -> None:
         self.db = db
         self.max_rows = max_rows
         self.analyze = analyze
-        #: When set, LM UDFs in exec SQL run through the vectorized
-        #: batched path (see ``Database.execute``); results are
-        #: identical, only the LM call pattern changes.
+        #: Batching mode for LM UDFs in exec SQL: ``"auto"`` (default)
+        #: lets the cost-based optimizer choose, ``None`` pins per-row,
+        #: an int pins that morsel size (see ``Database.execute``);
+        #: results are identical, only the LM call pattern changes.
         self.udf_batch_size = udf_batch_size
+        #: ``optimize=False`` disables the optimizer end to end (the
+        #: ablation / escape hatch); ``"auto"`` then degrades to
+        #: per-row execution.
+        self.optimize = optimize
 
     def execute(self, query: str) -> list[dict[str, Any]]:
         if trace.active():
@@ -40,6 +46,7 @@ class SQLExecutor:
             # query and data, so the trace stays deterministic.
             analyzed = self.db.explain_analyze(
                 query,
+                optimize=self.optimize,
                 analyze=self.analyze,
                 udf_batch_size=self.udf_batch_size,
             )
@@ -48,6 +55,7 @@ class SQLExecutor:
         else:
             result = self.db.execute(
                 query,
+                optimize=self.optimize,
                 analyze=self.analyze,
                 udf_batch_size=self.udf_batch_size,
             )

@@ -114,6 +114,8 @@ class Database:
         function: Callable[..., dbtypes.SQLValue],
         expensive: bool = False,
         batch: BatchFunction | None = None,
+        cheap: Callable[..., dbtypes.SQLValue] | None = None,
+        cheap_batch: BatchFunction | None = None,
     ) -> None:
         """Expose a Python callable (e.g. an LM) as a SQL function.
 
@@ -121,9 +123,19 @@ class Database:
         :meth:`repro.db.functions.FunctionRegistry.register_scalar`);
         the batched execution path dispatches it once per morsel of
         distinct argument tuples.
+
+        ``cheap`` (and optional ``cheap_batch``) register a cheap
+        classifier tier for the optimizer's *cascade* route: it must
+        return exactly what ``function`` would, or ``None`` to escalate
+        the tuple to the expensive tier.
         """
         self.functions.register_scalar(
-            name, function, expensive=expensive, batch=batch
+            name,
+            function,
+            expensive=expensive,
+            batch=batch,
+            cheap=cheap,
+            cheap_batch=cheap_batch,
         )
 
     def bind_udf_meters(
@@ -149,7 +161,10 @@ class Database:
         )
 
     def _planner(
-        self, optimize: bool, udf_batch_size: int | None
+        self,
+        optimize: bool,
+        udf_batch_size: int | None,
+        optimizer: Any = None,
     ) -> Planner:
         return Planner(
             self,
@@ -161,7 +176,43 @@ class Database:
                 if udf_batch_size is not None
                 else None
             ),
+            optimizer=optimizer,
         )
+
+    def _prepare_select(
+        self,
+        statement: ast.Select,
+        optimize: bool,
+        udf_batch_size: "int | str | None",
+    ) -> tuple[Planner, Any]:
+        """Resolve the route and build the planner for one SELECT.
+
+        ``udf_batch_size`` semantics: the default ``"auto"`` delegates
+        the choice to the cost-based optimizer (per-row for purely
+        relational statements, a distinct-value-bounded morsel size —
+        or the cascade route — for statements with expensive UDFs);
+        ``None`` pins the per-row oracle path; an int pins that morsel
+        size.  With ``optimize=False`` there is no optimizer: ``"auto"``
+        degrades to per-row, ints are still honored (for ablations).
+        """
+        optimizer = None
+        if optimize:
+            from repro.db.optimizer import QueryOptimizer
+
+            optimizer = QueryOptimizer(self)
+            udf_batch_size = optimizer.choose_route(
+                statement, udf_batch_size
+            )
+        elif udf_batch_size == "auto":
+            udf_batch_size = None
+        return (
+            self._planner(optimize, udf_batch_size, optimizer),  # type: ignore[arg-type]
+            optimizer,
+        )
+
+    def _meter_optimizer(self, optimizer: Any) -> None:
+        if optimizer is not None:
+            optimizer.report.meter(self._udf_usage, self._udf_metrics)
 
     # ------------------------------------------------------------------
     # SQL execution
@@ -172,7 +223,7 @@ class Database:
         sql: str,
         optimize: bool = True,
         analyze: bool = False,
-        udf_batch_size: int | None = None,
+        udf_batch_size: "int | str | None" = "auto",
     ) -> ResultSet:
         """Parse and run one SQL statement.
 
@@ -182,8 +233,11 @@ class Database:
         raised before any plan is built when error-severity diagnostics
         are found.
 
-        With ``udf_batch_size=N``, expensive-UDF filters and
-        projections execute through the vectorized operators
+        ``udf_batch_size`` controls how expensive-UDF filters and
+        projections execute.  The default ``"auto"`` lets the
+        cost-based optimizer choose (see
+        :class:`repro.db.optimizer.QueryOptimizer`); ``None`` pins the
+        per-row oracle path; an int ``N`` pins the vectorized operators
         (:class:`~repro.db.plan.BatchedFilter` /
         :class:`~repro.db.plan.BatchedProject`): morsels of N rows,
         one batch dispatch per morsel of distinct argument tuples,
@@ -215,8 +269,12 @@ class Database:
                 report = self.analyze(statement, source=sql)
                 if not report.ok:
                     raise _analysis_error(report)
-            planner = self._planner(optimize, udf_batch_size)
-            return planner.run_select(statement)
+            planner, optimizer = self._prepare_select(
+                statement, optimize, udf_batch_size
+            )
+            result = planner.run_select(statement)
+            self._meter_optimizer(optimizer)
+            return result
         if isinstance(statement, ast.CreateTable):
             self._execute_create(statement)
             return ResultSet([], [])
@@ -249,7 +307,7 @@ class Database:
         sql: str,
         optimize: bool = True,
         analyze: bool = False,
-        udf_batch_size: int | None = None,
+        udf_batch_size: "int | str | None" = "auto",
     ):
         """Execute a SELECT with per-operator instrumentation.
 
@@ -260,7 +318,8 @@ class Database:
         a ``LIMIT`` that stops pulling early shows up in its children's
         ``rows_out``.  Under ``udf_batch_size``, batched operators
         additionally report their LM call/batch and UDF-cache counters
-        per node.
+        per node.  For statements involving expensive UDFs the render
+        ends with the optimizer's decision footer.
         """
         from repro.obs.explain import AnalyzedQuery, instrument_plan
 
@@ -271,25 +330,47 @@ class Database:
             report = self.analyze(statement, source=sql)
             if not report.ok:
                 raise _analysis_error(report)
-        planner = self._planner(optimize, udf_batch_size)
+        planner, optimizer = self._prepare_select(
+            statement, optimize, udf_batch_size
+        )
         plan, names = planner.plan_select(statement)
         proxy, stats = instrument_plan(plan)
         rows = list(proxy.execute())
-        return AnalyzedQuery(stats=stats, result=ResultSet(names, rows))
+        self._meter_optimizer(optimizer)
+        return AnalyzedQuery(
+            stats=stats,
+            result=ResultSet(names, rows),
+            optimizer=(
+                optimizer.report
+                if optimizer is not None and optimizer.report.decisions
+                else None
+            ),
+        )
 
     def explain(
         self,
         sql: str,
         optimize: bool = True,
-        udf_batch_size: int | None = None,
+        udf_batch_size: "int | str | None" = "auto",
     ) -> str:
-        """Render the physical plan for a SELECT (diagnostics/tests)."""
+        """Render the physical plan for a SELECT (diagnostics/tests).
+
+        Statements with expensive UDFs get an ``Optimizer:`` footer
+        listing every decision (route, batch size, reorders, pushdowns)
+        with the cost numbers that justified it.
+        """
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise PlanningError("EXPLAIN only supports SELECT")
-        planner = self._planner(optimize, udf_batch_size)
+        planner, optimizer = self._prepare_select(
+            statement, optimize, udf_batch_size
+        )
         plan, _ = planner.plan_select(statement)
-        return plan.explain()
+        rendered = plan.explain()
+        self._meter_optimizer(optimizer)
+        if optimizer is not None and optimizer.report.decisions:
+            rendered += "\n" + optimizer.report.render()
+        return rendered
 
     def schema_sql(self) -> str:
         """All CREATE TABLE statements, in the BIRD prompt encoding."""

@@ -413,7 +413,15 @@ class UDFCallSite:
     row order, exactly as the per-row path would.
     """
 
-    __slots__ = ("name", "function", "batch_function", "arg_evaluators", "memo")
+    __slots__ = (
+        "name",
+        "function",
+        "batch_function",
+        "cheap_function",
+        "cheap_batch",
+        "arg_evaluators",
+        "memo",
+    )
 
     def __init__(
         self,
@@ -421,10 +429,19 @@ class UDFCallSite:
         function: Callable[..., SQLValue],
         batch_function: Callable | None,
         arg_evaluators: list[Evaluator],
+        cheap_function: Callable[..., SQLValue] | None = None,
+        cheap_batch: Callable | None = None,
     ) -> None:
         self.name = name
         self.function = function
         self.batch_function = batch_function
+        #: Cascade tier: a cheap classifier that either agrees with
+        #: ``function`` or returns None to escalate (see
+        #: ``FunctionRegistry.register_scalar``).  Consulted before the
+        #: expensive dispatch in ``_resolve_morsel``; never memoizes
+        #: errors, never changes results.
+        self.cheap_function = cheap_function
+        self.cheap_batch = cheap_batch
         self.arg_evaluators = arg_evaluators
         self.memo: dict[MemoKey, object] = {}
 
@@ -520,6 +537,7 @@ def plan_batched_expressions(
     layout: RowLayout,
     functions: "FunctionRegistry",
     subquery_planner: "Planner | None" = None,
+    cascade: bool = False,
 ) -> tuple[list[UDFCallSite], list[Evaluator]]:
     """Compile ``expressions`` with shared batched UDF call sites.
 
@@ -529,6 +547,11 @@ def plan_batched_expressions(
     expressions with the sites spliced in.  Site order is inner-before-
     outer, so a site's argument evaluators may reference earlier sites'
     memoized results (nested LM UDFs batch in waves).
+
+    With ``cascade=True``, sites whose function has a registered cheap
+    tier route each distinct argument tuple through it first; only
+    tuples the cheap tier declines (returns None for) reach the
+    expensive form.
     """
     calls: list[ast.FunctionCall] = []
     for expression in expressions:
@@ -546,6 +569,14 @@ def plan_batched_expressions(
             functions.scalar(call.name),
             functions.batch_function(call.name),
             [compiler.compile(arg) for arg in call.args],
+            cheap_function=(
+                functions.cheap_function(call.name) if cascade else None
+            ),
+            cheap_batch=(
+                functions.cheap_batch_function(call.name)
+                if cascade
+                else None
+            ),
         )
         overrides[call] = site.evaluate
         sites.append(site)

@@ -45,6 +45,8 @@ class FunctionRegistry:
         self._aggregates: dict[str, AggregateSpec] = {}
         self._expensive: set[str] = set()
         self._batch: dict[str, BatchFunction] = {}
+        self._cheap: dict[str, ScalarFunction] = {}
+        self._cheap_batch: dict[str, BatchFunction] = {}
         _register_builtin_scalars(self)
         _register_builtin_aggregates(self)
 
@@ -56,6 +58,8 @@ class FunctionRegistry:
         function: ScalarFunction,
         expensive: bool = False,
         batch: BatchFunction | None = None,
+        cheap: ScalarFunction | None = None,
+        cheap_batch: BatchFunction | None = None,
     ) -> None:
         """Register a scalar function (UDF) under ``name``.
 
@@ -71,6 +75,15 @@ class FunctionRegistry:
         ``complete()`` turns into one ``complete_batch()``.  Without
         ``batch``, the batched path still deduplicates and memoizes but
         invokes ``function`` once per distinct tuple.
+
+        ``cheap`` (and optional ``cheap_batch``) supply a *cheap
+        classifier tier* for the cascade route: called with the same
+        arguments as ``function``, it must return either the exact
+        value ``function`` would return or ``None`` to escalate to the
+        expensive tier.  Soundness is the registrant's contract — a
+        cheap tier that disagrees with the expensive form changes query
+        results.  Cheap-tier exceptions are treated as escalations, so
+        a flaky cheap tier degrades cost, never correctness.
         """
         upper = name.upper()
         self._scalars[upper] = function
@@ -78,6 +91,10 @@ class FunctionRegistry:
             self._expensive.add(upper)
         if batch is not None:
             self._batch[upper] = batch
+        if cheap is not None:
+            self._cheap[upper] = cheap
+        if cheap_batch is not None:
+            self._cheap_batch[upper] = cheap_batch
 
     def register_aggregate(self, name: str, spec: AggregateSpec) -> None:
         self._aggregates[name.upper()] = spec
@@ -108,6 +125,18 @@ class FunctionRegistry:
     def batch_function(self, name: str) -> BatchFunction | None:
         """The registered vectorised form of ``name``, if any."""
         return self._batch.get(name.upper())
+
+    def cheap_function(self, name: str) -> ScalarFunction | None:
+        """The registered cheap-tier form of ``name``, if any."""
+        return self._cheap.get(name.upper())
+
+    def cheap_batch_function(self, name: str) -> BatchFunction | None:
+        """The registered vectorised cheap-tier form, if any."""
+        return self._cheap_batch.get(name.upper())
+
+    def has_cheap(self, name: str) -> bool:
+        """Whether ``name`` has a cheap cascade tier registered."""
+        return name.upper() in self._cheap
 
     def contains_expensive(self, expression: ast.Expression) -> bool:
         """True when any expensive call appears anywhere in ``expression``.

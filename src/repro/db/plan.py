@@ -150,13 +150,21 @@ class UDFExecContext:
     never disagree.
     """
 
-    #: Metric name per exec-stats key (only cache traffic is exported;
-    #: LM calls/batches are already metered by the model's own Usage).
+    #: Metric name per exec-stats key (only cache traffic and cascade
+    #: routing are exported; LM calls/batches are already metered by
+    #: the model's own Usage).
     _METRIC_NAMES = {
         "udf_cache_hits": "repro_udf_cache_hits_total",
         "udf_cache_misses": "repro_udf_cache_misses_total",
+        "cascade_cheap_hits": "repro_cascade_cheap_hits_total",
+        "cascade_escalations": "repro_cascade_escalations_total",
     }
-    _USAGE_FIELDS = ("udf_cache_hits", "udf_cache_misses")
+    _USAGE_FIELDS = (
+        "udf_cache_hits",
+        "udf_cache_misses",
+        "cascade_cheap_hits",
+        "cascade_escalations",
+    )
 
     def __init__(
         self,
@@ -180,14 +188,54 @@ class UDFExecContext:
                 self.metrics.counter(metric).inc(amount)
 
 
-def _fresh_exec_stats() -> dict[str, int]:
-    """Pre-seeded so EXPLAIN ANALYZE renders a fixed, complete key order."""
-    return {
+def _fresh_exec_stats(
+    sites: list[UDFCallSite] | None = None,
+) -> dict[str, int]:
+    """Pre-seeded so EXPLAIN ANALYZE renders a fixed, complete key order.
+
+    Cascade keys appear only when a site actually carries a cheap tier,
+    so non-cascade plans render exactly as before.
+    """
+    stats = {
         "lm_calls": 0,
         "lm_batches": 0,
         "udf_cache_hits": 0,
         "udf_cache_misses": 0,
     }
+    if sites is not None and any(
+        site.cheap_function is not None for site in sites
+    ):
+        stats["cascade_cheap_hits"] = 0
+        stats["cascade_escalations"] = 0
+    return stats
+
+
+def _cheap_tier_answers(
+    site: UDFCallSite, pending: list[MemoKey]
+) -> list[object]:
+    """Run the cascade's cheap tier over ``pending`` argument tuples.
+
+    Returns one answer per tuple; ``None`` means "escalate to the
+    expensive tier".  Any cheap-tier failure — a batch dispatch error,
+    a wrong-length batch result, or a per-tuple exception — degrades to
+    escalation, so an unsound-by-crashing cheap tier costs money, not
+    correctness.
+    """
+    tuples = [key[1] for key in pending]
+    if site.cheap_batch is not None:
+        try:
+            answers = list(site.cheap_batch(tuples))
+        except Exception:
+            answers = None
+        if answers is not None and len(answers) == len(tuples):
+            return answers
+    answers = []
+    for args in tuples:
+        try:
+            answers.append(site.cheap_function(*args))
+        except Exception:
+            answers.append(None)
+    return answers
 
 
 def _resolve_morsel(
@@ -233,6 +281,26 @@ def _resolve_morsel(
             pending_keys.add(key)
             pending.append(key)
         context.tally(stats, "udf_cache_hits", hits)
+        if pending and site.cheap_function is not None:
+            # Cascade route: the cheap classifier tier answers what it
+            # can; only declined tuples reach the expensive dispatch.
+            # Cheap answers are real results (contract: the cheap tier
+            # agrees with the expensive form), so they are memoized and
+            # cached exactly like expensive ones.
+            answers = _cheap_tier_answers(site, pending)
+            escalated: list[MemoKey] = []
+            cheap_hits = 0
+            for key, answer in zip(pending, answers):
+                if answer is None:
+                    escalated.append(key)
+                    continue
+                site.memo[key] = answer
+                if context.cache is not None:
+                    context.cache.put(key, answer)
+                cheap_hits += 1
+            context.tally(stats, "cascade_cheap_hits", cheap_hits)
+            context.tally(stats, "cascade_escalations", len(escalated))
+            pending = escalated
         if not pending:
             continue
         context.tally(stats, "udf_cache_misses", len(pending))
@@ -300,7 +368,7 @@ class BatchedFilter(PlanNode):
         self.batch_size = batch_size
         self.label = label
         self.layout = child.layout
-        self.exec_stats = _fresh_exec_stats()
+        self.exec_stats = _fresh_exec_stats(sites)
 
     def execute(self) -> Iterator[Row]:
         predicate = self.predicate
@@ -350,7 +418,7 @@ class BatchedProject(PlanNode):
         self.sites = sites
         self.context = context
         self.batch_size = batch_size
-        self.exec_stats = _fresh_exec_stats()
+        self.exec_stats = _fresh_exec_stats(sites)
 
     def execute(self) -> Iterator[Row]:
         evaluators = self.evaluators

@@ -41,6 +41,7 @@ from repro.errors import PlanningError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.catalog import Database
+    from repro.db.optimizer import QueryOptimizer
 
 
 def _first_spec() -> AggregateSpec:
@@ -64,6 +65,7 @@ class Planner:
         optimize: bool = True,
         udf_batch_size: int | None = None,
         udf_context: "physical.UDFExecContext | None" = None,
+        optimizer: "QueryOptimizer | None" = None,
     ) -> None:
         self._catalog = catalog
         self._functions = functions
@@ -72,6 +74,10 @@ class Planner:
         #: morsel-driven Batched* operators over morsels of this size.
         self._udf_batch_size = udf_batch_size
         self._udf_context = udf_context
+        #: Cost-based optimizer for this statement: records decisions
+        #: (reorder/pushdown rationale) and steers expensive-conjunct
+        #: placement and the cascade route.  None under optimize=False.
+        self._optimizer = optimizer
 
     # ------------------------------------------------------------------
     # public entry points
@@ -251,14 +257,40 @@ class Planner:
             left_push: list[ast.Expression] = []
             right_push: list[ast.Expression] = []
             for conjunct in conjuncts:
+                side: physical.PlanNode | None = None
                 if self._resolvable(conjunct, node.left.layout):
-                    left_push.append(conjunct)
+                    side = node.left
                 elif node.kind != "LEFT" and self._resolvable(
                     conjunct, node.right.layout
                 ):
-                    right_push.append(conjunct)
-                else:
+                    side = node.right
+                if side is None:
                     remaining.append(conjunct)
+                    continue
+                # An expensive (LM) conjunct goes wherever fewer rows
+                # flow: a selective join means evaluating it above the
+                # join costs fewer LM calls than below.
+                if (
+                    self._optimizer is not None
+                    and self._is_expensive(conjunct)
+                    and self._optimizer.hold_above_join(
+                        conjunct, node, side
+                    )
+                ):
+                    remaining.append(conjunct)
+                elif side is node.left:
+                    left_push.append(conjunct)
+                else:
+                    right_push.append(conjunct)
+            if self._optimizer is not None:
+                self._optimizer.note_cheap_pushdown(
+                    sum(
+                        1
+                        for conjunct in left_push + right_push
+                        if not self._is_expensive(conjunct)
+                    ),
+                    node,
+                )
             if left_push:
                 new_left, leftover = self._push_down(node.left, left_push)
                 node.left = self._attach_filters(new_left, leftover)
@@ -329,6 +361,8 @@ class Planner:
             )
         cheap = [c for c in conjuncts if not self._is_expensive(c)]
         expensive = [c for c in conjuncts if self._is_expensive(c)]
+        if self._optimizer is not None:
+            self._optimizer.note_reorder(cheap, expensive, node)
         compiler = self._compiler(node.layout)
         if cheap:
             node = physical.Filter(
@@ -350,7 +384,11 @@ class Planner:
         """
         if self._udf_batch_size is not None:
             sites, evaluators = plan_batched_expressions(
-                [conjunct], node.layout, self._functions, self
+                [conjunct],
+                node.layout,
+                self._functions,
+                self,
+                cascade=self._cascade(),
             )
             if sites:
                 return physical.BatchedFilter(
@@ -370,6 +408,11 @@ class Planner:
         if self._udf_context is None:
             self._udf_context = physical.UDFExecContext()
         return self._udf_context
+
+    def _cascade(self) -> bool:
+        return (
+            self._optimizer is not None and self._optimizer.cascade
+        )
 
     # ------------------------------------------------------------------
     # aggregation
@@ -615,7 +658,11 @@ class Planner:
             for expression in expressions
         ):
             sites, evaluators = plan_batched_expressions(
-                expressions, source.layout, self._functions, self
+                expressions,
+                source.layout,
+                self._functions,
+                self,
+                cascade=self._cascade(),
             )
             if sites:
                 return physical.BatchedProject(

@@ -140,6 +140,16 @@ class Table:
         position = self.schema.column_index(name)
         return len({row[position] for row in self._rows})
 
+    def null_count(self, name: str) -> int:
+        """Number of NULLs in a column (catalog statistic).
+
+        The cost model's selectivity estimator uses the null fraction
+        for ``IS NULL`` / ``IS NOT NULL`` predicates instead of a
+        magic default.
+        """
+        position = self.schema.column_index(name)
+        return sum(1 for row in self._rows if row[position] is None)
+
     def to_dicts(self) -> list[dict[str, SQLValue]]:
         names = self.schema.column_names
         return [dict(zip(names, row)) for row in self._rows]

@@ -39,6 +39,7 @@ def register_llm_judge(
     lm: SimulatedLM,
     name: str = "LLM",
     max_tokens: int | None = 4,
+    cheap=None,
 ) -> None:
     """Register ``name(task, value)`` on ``db`` with scalar + batch forms.
 
@@ -49,6 +50,16 @@ def register_llm_judge(
     binds ``lm.usage`` as the database's UDF-cache meter, so
     ``udf_cache_hits``/``udf_cache_misses`` accumulate next to the
     model's own call/batch/token counters.
+
+    ``cheap`` optionally supplies the *cheap classifier tier* for the
+    optimizer's cascade route: a callable ``(task, value) -> str |
+    None`` that either answers exactly what the expensive judge would
+    ("yes"/"no") or returns ``None`` to escalate the tuple to the LM.
+    Soundness is the caller's contract — a cheap tier that disagrees
+    with the LM changes query results.  In practice this is a
+    high-precision heuristic (keyword match, lookup table, small
+    distilled model) that abstains whenever unsure; exceptions it
+    raises are treated as abstentions by the executor.
     """
 
     def scalar(task, value):
@@ -66,5 +77,18 @@ def register_llm_judge(
         )
         return [response.text for response in responses]
 
-    db.register_udf(name, scalar, expensive=True, batch=batch)
+    cheap_batch = None
+    if cheap is not None:
+
+        def cheap_batch(argument_tuples):  # noqa: F811 — gated wrapper
+            return [cheap(task, value) for task, value in argument_tuples]
+
+    db.register_udf(
+        name,
+        scalar,
+        expensive=True,
+        batch=batch,
+        cheap=cheap,
+        cheap_batch=cheap_batch,
+    )
     db.bind_udf_meters(usage=lm.usage)

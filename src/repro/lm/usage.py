@@ -33,6 +33,15 @@ class Usage:
     performed — a retried call that re-runs the model is billed again,
     but work reused from a partially failed batch is not re-billed.
 
+    ``cascade_cheap_hits``/``cascade_escalations`` are metered by the
+    same operators when the optimizer's cascade route is active: a
+    cheap hit is a distinct tuple answered by the cheap classifier
+    tier, an escalation is one the cheap tier declined (so it was
+    dispatched to the expensive form and counted as a
+    ``udf_cache_misses`` there).  ``optimizer_decisions`` counts
+    recorded plan decisions (route, batch size, reorders, pushdowns),
+    metered once per planned statement.
+
     The :mod:`repro.obs` metrics registry scrapes are derived from
     these same events; Usage stays the canonical meter.
 
@@ -57,6 +66,9 @@ class Usage:
     cache_misses: int = 0
     udf_cache_hits: int = 0
     udf_cache_misses: int = 0
+    cascade_cheap_hits: int = 0
+    cascade_escalations: int = 0
+    optimizer_decisions: int = 0
     faults_injected: int = 0
     retries: int = 0
     breaker_trips: int = 0

@@ -173,15 +173,27 @@ def emit_operator_spans(
 
 @dataclass
 class AnalyzedQuery:
-    """EXPLAIN ANALYZE output: the result set plus the annotated plan."""
+    """EXPLAIN ANALYZE output: the result set plus the annotated plan.
+
+    ``optimizer`` carries the query optimizer's decision report
+    (duck-typed: anything with ``decisions`` and ``render()``) when the
+    statement involved expensive UDFs; plans without LM work render
+    exactly as before.
+    """
 
     stats: OperatorStats
     result: object  # a repro.db ResultSet (duck-typed, see module doc)
     cost: OperatorCostModel = DEFAULT_COST
+    optimizer: object | None = None
 
     @property
     def total_seconds(self) -> float:
         return sum(self.cost.seconds(node) for node in self.stats.walk())
 
     def render(self) -> str:
-        return render_stats(self.stats, self.cost)
+        rendered = render_stats(self.stats, self.cost)
+        if self.optimizer is not None and getattr(
+            self.optimizer, "decisions", None
+        ):
+            rendered += "\n" + self.optimizer.render()
+        return rendered

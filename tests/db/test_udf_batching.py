@@ -103,11 +103,16 @@ QUERIES = [
 
 
 def run_oracle(rows, sql):
-    """The per-row path; returns (columns, rows) or the error string."""
+    """The per-row path; returns (columns, rows) or the error string.
+
+    ``udf_batch_size=None`` pins per-row execution explicitly — the
+    default is the optimizer's auto route, which would not be an
+    independent oracle.
+    """
     udf = CountingUDF()
     db = make_database(rows, udf)
     try:
-        result = db.execute(sql)
+        result = db.execute(sql, udf_batch_size=None)
     except ExecutionError as error:
         return ("error", str(error))
     return (result.columns, result.rows)
@@ -157,7 +162,7 @@ class TestErrorEquivalence:
         udf = CountingUDF(fail_on="poison")
         db = make_database(self.ROWS, udf)
         with pytest.raises(ExecutionError) as caught:
-            db.execute(sql)
+            db.execute(sql, udf_batch_size=None)
         return str(caught.value)
 
     @pytest.mark.parametrize("batch_size", BATCH_SIZES)
@@ -203,7 +208,7 @@ class TestErrorEquivalence:
         rows = [("apple", 1), ("banana", None), ("fig", 2)]
         udf = CountingUDF()
         db = make_database(rows, udf)
-        oracle = db.execute(sql)
+        oracle = db.execute(sql, udf_batch_size=None)
         udf2 = CountingUDF()
         db2 = make_database(rows, udf2)
         batched = db2.execute(sql, udf_batch_size=batch_size)
@@ -305,8 +310,32 @@ class TestPlanShapes:
         )
         assert udf.batch_tuples == 2  # one site, not one per item
 
-    def test_default_path_is_unchanged(self):
+    def test_default_path_is_auto_batched(self):
+        # The optimizer owns the default: expensive UDFs route through
+        # the batched operators with a cost-model-derived morsel size.
         udf = CountingUDF()
         db = make_database([("apple", 1)], udf)
         rendered = db.explain("SELECT SLOW(s) FROM t WHERE SLOW(s) = 'X'")
+        assert "Batched" in rendered
+        assert "Optimizer:" in rendered
+
+    def test_pinned_none_path_is_unchanged(self):
+        # udf_batch_size=None remains the per-row oracle escape hatch.
+        udf = CountingUDF()
+        db = make_database([("apple", 1)], udf)
+        rendered = db.explain(
+            "SELECT SLOW(s) FROM t WHERE SLOW(s) = 'X'",
+            udf_batch_size=None,
+        )
         assert "Batched" not in rendered
+
+    def test_no_optimize_path_is_unchanged(self):
+        # optimize=False disables the optimizer wholesale: "auto"
+        # degrades to the per-row path and no footer is rendered.
+        udf = CountingUDF()
+        db = make_database([("apple", 1)], udf)
+        rendered = db.explain(
+            "SELECT SLOW(s) FROM t WHERE SLOW(s) = 'X'", optimize=False
+        )
+        assert "Batched" not in rendered
+        assert "Optimizer:" not in rendered

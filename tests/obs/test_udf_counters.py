@@ -35,7 +35,9 @@ Slice([0, 1]) [rows_in=8 rows_out=8 vtime=0.000116s]
   Sort(1 key(s)) [rows_in=8 rows_out=8 vtime=0.000116s]
     BatchedProject(s, j, n, batch=4, sites=1) [rows_in=8 rows_out=8 vtime=0.000116s lm_calls=0 lm_batches=0 udf_cache_hits=8 udf_cache_misses=0]
       BatchedFilter(where[expensive], batch=4, sites=1) [rows_in=8 rows_out=8 vtime=0.000116s lm_calls=3 lm_batches=1 udf_cache_hits=5 udf_cache_misses=3]
-        Scan(t AS t) [rows_in=0 rows_out=8 vtime=0.000108s]"""
+        Scan(t AS t) [rows_in=0 rows_out=8 vtime=0.000108s]
+Optimizer:
+  route: batched (caller-pinned udf_batch_size=4): est 6 LM calls / 336 tokens (per-row 16 calls / 896 tokens)"""
 
 
 def build_database() -> tuple[Database, Usage, MetricsRegistry]:
@@ -153,10 +155,18 @@ class TestGoldenAnalyze:
         assert hits == usage.udf_cache_hits
         assert misses == usage.udf_cache_misses
 
-    def test_unbatched_plan_has_no_extra_stats(self):
+    def test_per_row_pinned_plan_has_no_batched_stats(self):
+        # udf_batch_size=None pins the per-row oracle path: no batched
+        # operators, so no per-node LM counters — but the optimizer
+        # still footers the (pinned) route decision.
         db, _, _ = build_database()
-        analyzed = db.explain_analyze(GOLDEN_SQL)
-        assert "lm_calls" not in analyzed.render()
+        analyzed = db.explain_analyze(GOLDEN_SQL, udf_batch_size=None)
+        rendered = analyzed.render()
+        assert "lm_calls" not in rendered
+        assert "BatchedFilter" not in rendered
+        assert "route: per-row (caller-pinned udf_batch_size=None)" in (
+            rendered
+        )
 
     def test_results_match_between_analyze_and_execute(self):
         db, _, _ = build_database()
