@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-optimizer bench bench-smoke lint analyze-smoke trace-smoke verify
+.PHONY: test test-optimizer test-repair bench bench-smoke lint analyze-smoke trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,11 +11,18 @@ test:
 test-optimizer:
 	$(PYTHON) -m pytest tests/db/test_optimizer_equivalence.py tests/db/test_optimizer_explain.py tests/analysis/test_selectivity.py -q
 
+# The self-correction suites on their own: repair-loop mechanics,
+# worker-invariance with repairs firing, the repair handler, metered
+# row-cap truncation, and a smoke pass of the E18 sweep.
+test-repair:
+	$(PYTHON) -m pytest tests/core/test_repair.py tests/serve/test_repair_determinism.py tests/lm/test_repair_handler.py tests/db/test_max_rows.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_repair.py -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_repair.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py -q
 
 # Determinism linter over src/ (see repro.analysis.lint); exits
 # nonzero on any unsuppressed finding.
@@ -40,8 +47,8 @@ trace-smoke:
 	@echo "trace-smoke: byte-identical across worker counts"
 
 # The pre-merge gate: full tier-1 suite, a smoke-mode pass of the
-# resilience and trace-overhead benchmarks, a clean determinism-lint
-# baseline, an analyzer round-trip through the CLI, and the trace
-# worker-invariance smoke.
+# resilience, repair, and trace-overhead benchmarks, a clean
+# determinism-lint baseline, an analyzer round-trip through the CLI,
+# and the trace worker-invariance smoke.
 verify: test bench-smoke lint analyze-smoke trace-smoke
 	@echo "verify: OK"

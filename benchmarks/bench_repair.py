@@ -1,0 +1,177 @@
+"""E18 — self-correction under bad generations: fault rate x repair budget.
+
+E14 covered *transport* failures (timeouts, rate limits) with retries;
+this experiment covers *generation* failures — the LM returns
+plausible-but-broken SQL (``malformed_sql`` faults garble the
+synthesized query) and a plain pipeline turns every one into a terminal
+error.  The self-correcting pipeline
+(:class:`repro.core.repair.SelfCorrectingPipeline`) instead feeds the
+failed SQL plus the analyzer/engine diagnostics back into a repair
+prompt and retries, up to ``max_repairs`` times.
+
+The sweep runs the Text2SQL baseline over the formula_1 suite questions
+under a fixed deterministic fault schedule and varies the repair
+budget.  Expected shape: failures fall as the budget grows (each repair
+re-draws the fault schedule on a fresh prompt, so even repairs can be
+garbled — budget 2 absorbs one garbled repair); the price is LM calls
+and simulated seconds.  Two properties are asserted, not just plotted:
+
+- budget 0 reproduces the one-shot baseline byte-for-byte (answers,
+  errors, usage) — the loop is pay-for-what-you-use;
+- whenever a repair succeeds, the answer equals the healthy-run oracle
+  answer — repair restores the *correct* query, it does not invent a
+  different one.
+
+Smoke mode: set ``REPRO_SMOKE=1`` to shrink the sweep for CI-style
+verification runs (``make verify``).
+"""
+
+import os
+
+from repro.bench.suite import build_suite
+from repro.data import load_domain
+from repro.lm import FaultPlan, FaultyLM, LMConfig, SimulatedLM
+from repro.methods.text2sql import Text2SQLMethod
+
+from benchmarks.conftest import write_artifact
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+FAULT_RATES = (0.0, 0.6) if SMOKE else (0.0, 0.3, 0.6)
+REPAIR_BUDGETS = (0, 2) if SMOKE else (0, 1, 2)
+FAULT_SEED = 5
+
+_DATASET = load_domain("formula_1", seed=0)
+_SPECS = [spec for spec in build_suite() if spec.domain == "formula_1"]
+
+
+def _run(rate: float, max_repairs: int):
+    """One sweep cell: every formula_1 question under one fault rate
+    and one repair budget.  Returns (per-question results, usage)."""
+    lm = FaultyLM(
+        SimulatedLM(LMConfig(seed=0)),
+        FaultPlan(seed=FAULT_SEED, malformed_sql_rate=rate),
+    )
+    method = Text2SQLMethod(lm, max_repairs=max_repairs)
+    results = [method.answer(spec, _DATASET) for spec in _SPECS]
+    return results, lm.usage
+
+
+def _sweep():
+    return {
+        (rate, budget): _run(rate, budget)
+        for rate in FAULT_RATES
+        for budget in REPAIR_BUDGETS
+    }
+
+
+def _failures(results) -> int:
+    return sum(1 for result in results if not result.ok)
+
+
+def _render(reports) -> str:
+    lines = [
+        f"Text2SQL self-correction, {len(_SPECS)} formula_1 questions, "
+        f"malformed-SQL fault seed {FAULT_SEED}:",
+        "",
+        "  rate  repairs  failed  attempts  repaired  exhausted"
+        "  faults   sim-s",
+    ]
+    for (rate, budget), (results, usage) in reports.items():
+        lines.append(
+            f"  {rate:4.2f}  {budget:7d}  {_failures(results):6d}"
+            f"  {usage.repair_attempts:8d}"
+            f"  {usage.repair_successes:8d}"
+            f"  {usage.repair_exhausted:9d}"
+            f"  {usage.faults_injected:6d}"
+            f"  {usage.simulated_seconds:6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_zero_budget_reproduces_one_shot_behavior(benchmark):
+    """Acceptance: ``max_repairs=0`` is byte-identical to the plain
+    (pre-repair) Text2SQL method under the same fault schedule —
+    answers, errors, per-question timings, and the full usage meter."""
+
+    def both():
+        guarded, guarded_usage = _run(0.6, 0)
+        lm = FaultyLM(
+            SimulatedLM(LMConfig(seed=0)),
+            FaultPlan(seed=FAULT_SEED, malformed_sql_rate=0.6),
+        )
+        baseline_method = Text2SQLMethod(lm)  # today's default: no loop
+        baseline = [baseline_method.answer(spec, _DATASET) for spec in _SPECS]
+        return guarded, guarded_usage, baseline, lm.usage
+
+    guarded, guarded_usage, baseline, baseline_usage = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    assert guarded == baseline
+    assert guarded_usage == baseline_usage
+    assert guarded_usage.repair_attempts == 0
+
+
+def test_fault_rate_x_repair_budget_sweep(benchmark):
+    """Acceptance: at every nonzero fault rate, ``max_repairs=2``
+    recovers at least half of the previously-terminal failures, repaired
+    answers equal the healthy-run oracle answers, and the sweep is
+    byte-identical across runs."""
+    reports = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = _render(reports)
+    write_artifact("repair.txt", table)
+
+    # Deterministic fault schedules and repair prompts: re-running the
+    # sweep reproduces every number, so the artifact is byte-identical.
+    assert _render(_sweep()) == table
+
+    oracle, oracle_usage = reports[(0.0, 0)]
+    assert _failures(oracle) == 0
+    assert oracle_usage.faults_injected == 0
+
+    for rate in FAULT_RATES:
+        unrepaired, _ = reports[(rate, 0)]
+        repaired, repaired_usage = reports[(rate, max(REPAIR_BUDGETS))]
+        terminal = _failures(unrepaired)
+        remaining = _failures(repaired)
+        if rate == 0.0:
+            # Healthy model: the loop never fires and costs nothing —
+            # usage is identical at every budget.
+            for budget in REPAIR_BUDGETS:
+                _, usage = reports[(rate, budget)]
+                assert usage == oracle_usage
+            continue
+        assert terminal > 0
+        # The headline: budget 2 recovers >= half of the one-shot
+        # failures.
+        assert (terminal - remaining) * 2 >= terminal
+        assert repaired_usage.repair_attempts > 0
+        assert repaired_usage.repair_successes > 0
+        # Failures never increase with budget.
+        failure_curve = [
+            _failures(reports[(rate, budget)][0])
+            for budget in REPAIR_BUDGETS
+        ]
+        assert failure_curve == sorted(failure_curve, reverse=True)
+        # A successful repair restores the *oracle* answer — for every
+        # budget, every answered question matches the healthy run.
+        for budget in REPAIR_BUDGETS:
+            results, _ = reports[(rate, budget)]
+            for result, expected in zip(results, oracle):
+                if result.ok:
+                    assert result.answer == expected.answer
+
+
+def test_repairs_trade_simulated_seconds_for_answers(benchmark):
+    """Each recovered answer is paid for in repair prompts: simulated
+    seconds grow monotonically with the budget at a fixed fault rate."""
+    rate = max(FAULT_RATES)
+    reports = benchmark.pedantic(
+        lambda: {b: _run(rate, b) for b in REPAIR_BUDGETS},
+        rounds=1,
+        iterations=1,
+    )
+    seconds = [
+        reports[budget][1].simulated_seconds for budget in REPAIR_BUDGETS
+    ]
+    assert seconds == sorted(seconds)
+    assert seconds[-1] > seconds[0]

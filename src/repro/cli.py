@@ -128,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--max-repairs",
+        type=int,
+        default=0,
+        help=(
+            "validate→repair→retry budget per request: failed SQL is "
+            "fed back to the LM with diagnostics up to this many "
+            "times; admission prices the worst-case repair cost "
+            "(0 disables the repair loop)"
+        ),
+    )
+    serve.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -269,7 +280,9 @@ def _command_serve(args) -> int:
         FallbackPipeline,
         FixedQuerySynthesizer,
         NoGenerator,
+        RepairPolicy,
         SQLExecutor,
+        SelfCorrectingPipeline,
         SingleCallGenerator,
         TAGPipeline,
     )
@@ -315,11 +328,20 @@ def _command_serve(args) -> int:
         # from the distinct-value bound) unless --no-optimize pins the
         # per-row path.
         optimize = not args.no_optimize
-        primary = TAGPipeline(
+        steps = (
             _DemoSynthesizer(),
             SQLExecutor(dataset.db, optimize=optimize),
             SingleCallGenerator(lm, aggregation=True),
         )
+        if args.max_repairs > 0:
+            primary = SelfCorrectingPipeline(
+                *steps,
+                lm=lm,
+                schema_sql=dataset.db.schema_sql(),
+                policy=RepairPolicy(max_repairs=args.max_repairs),
+            )
+        else:
+            primary = TAGPipeline(*steps)
         if args.no_fallback:
             return primary
         raw_table = TAGPipeline(
@@ -345,6 +367,7 @@ def _command_serve(args) -> int:
         admission = AdmissionPolicy(
             estimator=SQLAdmissionEstimator(dataset.db, query_for),
             max_lm_calls=args.admit_budget,
+            repair_budget=args.max_repairs,
         )
     tracer = None
     if args.trace is not None:
@@ -393,6 +416,11 @@ def _command_serve(args) -> int:
         f"  trips/deadlines  "
         f"{usage.breaker_trips:8d} / {usage.deadline_exceeded}"
     )
+    if args.max_repairs > 0:
+        print(
+            f"  repairs ok/used  "
+            f"{usage.repair_successes:8d} / {usage.repair_attempts}"
+        )
     if admission is not None:
         print(f"  admission-rej    {report.admission_rejected:8d}")
     if tracer is not None:

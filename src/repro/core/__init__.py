@@ -27,6 +27,13 @@ from repro.core.generation import (
     SingleCallGenerator,
 )
 from repro.core.multihop import ChainResult, Hop, TAGChain
+from repro.core.repair import (
+    RepairAttempt,
+    RepairPolicy,
+    SelfCorrectingPipeline,
+    describe_failure,
+    render_transcript,
+)
 from repro.core.synthesis import (
     EmbeddingSynthesizer,
     FixedQuerySynthesizer,
@@ -51,11 +58,16 @@ __all__ = [
     "MapReduceGenerator",
     "NoGenerator",
     "RefineGenerator",
+    "RepairAttempt",
+    "RepairPolicy",
     "SQLExecutor",
+    "SelfCorrectingPipeline",
     "SingleCallGenerator",
     "TAGChain",
     "TAGError",
     "TAGPipeline",
     "TAGResult",
     "VectorSearchExecutor",
+    "describe_failure",
+    "render_transcript",
 ]

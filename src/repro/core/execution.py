@@ -39,6 +39,10 @@ class SQLExecutor:
         self.optimize = optimize
 
     def execute(self, query: str) -> list[dict[str, Any]]:
+        # max_rows is enforced by the engine so truncation is metered
+        # (Usage.rows_truncated / repro_exec_rows_truncated_total) and
+        # noted in EXPLAIN ANALYZE output instead of silently dropping
+        # rows here.
         if trace.active():
             # Under an active trace, run through the EXPLAIN ANALYZE
             # instrumentation and mirror the plan as operator spans;
@@ -49,6 +53,7 @@ class SQLExecutor:
                 optimize=self.optimize,
                 analyze=self.analyze,
                 udf_batch_size=self.udf_batch_size,
+                max_rows=self.max_rows,
             )
             emit_operator_spans(analyzed.stats, analyzed.cost)
             result = analyzed.result
@@ -58,11 +63,11 @@ class SQLExecutor:
                 optimize=self.optimize,
                 analyze=self.analyze,
                 udf_batch_size=self.udf_batch_size,
+                max_rows=self.max_rows,
             )
-        rows = result.rows
-        if self.max_rows is not None:
-            rows = rows[: self.max_rows]
-        return [dict(zip(result.columns, row)) for row in rows]
+        return [
+            dict(zip(result.columns, row)) for row in result.rows
+        ]
 
 
 class VectorSearchExecutor:

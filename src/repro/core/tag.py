@@ -21,6 +21,14 @@ class TAGError:
     original exception rides along for re-raising and diagnostics but
     is excluded from equality, so two runs that fail identically
     compare equal.
+
+    ``sql`` preserves the SQL text that was being executed (or that
+    analysis rejected) and ``step_input`` the failing step's input
+    (the request for syn, the query for exec, the table for gen) — so
+    error reports and repair prompts can show *what* was run, not just
+    that it broke.  ``repairs`` carries the full repair-attempt history
+    when the failure came through the self-correcting pipeline's
+    exhausted budget (:mod:`repro.core.repair`).
     """
 
     #: Exception class name, e.g. ``"SQLSyntaxError"``.
@@ -32,13 +40,40 @@ class TAGError:
     exception: Exception | None = field(
         default=None, repr=False, compare=False
     )
+    #: The SQL text whose execution (or analysis) failed, when known.
+    sql: str | None = None
+    #: The failing step's input; excluded from equality and repr like
+    #: the exception (it may be a large table or non-comparable object).
+    step_input: Any = field(default=None, repr=False, compare=False)
+    #: Repair attempts (:class:`repro.core.repair.RepairAttempt`) that
+    #: preceded this failure, original synthesis first; empty unless the
+    #: self-correcting pipeline exhausted its budget.
+    repairs: list = field(default_factory=list)
 
     @classmethod
     def from_exception(
-        cls, exception: Exception, step: int | None = None
+        cls,
+        exception: Exception,
+        step: int | None = None,
+        sql: str | None = None,
+        step_input: Any = None,
     ) -> "TAGError":
-        from repro.errors import AnalysisError
+        from repro.errors import AnalysisError, RepairExhaustedError
 
+        if isinstance(exception, RepairExhaustedError):
+            # The repair loop ran dry: surface the budget exhaustion as
+            # its own kind with the whole attempt history attached, so
+            # fallback tiers and reports can show every candidate tried.
+            attempts = exception.attempts
+            return cls(
+                kind="repair_exhausted",
+                message=str(exception),
+                step=1,
+                exception=exception,
+                sql=attempts[-1].sql if attempts else sql,
+                step_input=step_input,
+                repairs=list(attempts),
+            )
         if isinstance(exception, AnalysisError):
             # Static analysis rejects the *synthesized* SQL, so the
             # fault is pinned on step 0 (synthesis) regardless of where
@@ -49,12 +84,16 @@ class TAGError:
                 message=str(exception),
                 step=0,
                 exception=exception,
+                sql=sql,
+                step_input=step_input,
             )
         return cls(
             kind=type(exception).__name__,
             message=str(exception),
             step=step,
             exception=exception,
+            sql=sql,
+            step_input=step_input,
         )
 
     @property
@@ -109,6 +148,11 @@ class TAGResult:
     degraded: bool = False
     #: Failed tiers that preceded this result, in attempt order.
     fallbacks: list[FallbackAttempt] = field(default_factory=list)
+    #: Repair-attempt transcript (:class:`repro.core.repair
+    #: .RepairAttempt`) when a self-correcting pipeline ran the repair
+    #: loop for this request — present whether the loop succeeded or
+    #: exhausted its budget; empty when no repair fired.
+    repairs: list = field(default_factory=list)
     #: Root :class:`repro.obs.trace.Span` of this run, when the server
     #: traced it.  Excluded from equality: two identically-failing runs
     #: still compare equal whether or not one was traced.
@@ -169,19 +213,36 @@ class TAGPipeline:
             with trace.span("step:synthesis"):
                 result.query = self.synthesis.synthesize(request)
             step = 1
-            with trace.span("step:execution"):
-                result.table = self.execution.execute(result.query)
+            result.table = self._execute_step(request, result)
             step = 2
             with trace.span("step:generation"):
                 result.answer = self.generation.generate(
                     request, result.table
                 )
         except Exception as error:  # noqa: BLE001 - see class docstring
-            result.error = TAGError.from_exception(error, step=step)
+            step_input = (request, result.query, result.table)[step]
+            result.error = TAGError.from_exception(
+                error,
+                step=step,
+                sql=(
+                    result.query
+                    if isinstance(result.query, str)
+                    else None
+                ),
+                step_input=step_input,
+            )
             trace.event(
                 "step.error", step=STEP_NAMES[step], kind=result.error.kind
             )
         return result
+
+    def _execute_step(
+        self, request: str, result: TAGResult
+    ) -> list[dict[str, Any]]:
+        """Run exec for one request; the self-correcting pipeline's
+        repair loop overrides exactly this seam."""
+        with trace.span("step:execution"):
+            return self.execution.execute(result.query)
 
 
 class FallbackPipeline:

@@ -214,6 +214,15 @@ class Database:
         if optimizer is not None:
             optimizer.report.meter(self._udf_usage, self._udf_metrics)
 
+    def _meter_truncation(self, dropped: int) -> None:
+        """Mirror ``max_rows`` row drops into the bound usage/metrics."""
+        if self._udf_usage is not None:
+            self._udf_usage.rows_truncated += dropped
+        if self._udf_metrics is not None:
+            self._udf_metrics.counter(
+                "repro_exec_rows_truncated_total"
+            ).inc(dropped)
+
     # ------------------------------------------------------------------
     # SQL execution
     # ------------------------------------------------------------------
@@ -224,8 +233,16 @@ class Database:
         optimize: bool = True,
         analyze: bool = False,
         udf_batch_size: "int | str | None" = "auto",
+        max_rows: int | None = None,
     ) -> ResultSet:
         """Parse and run one SQL statement.
+
+        ``max_rows`` caps the rows a SELECT returns.  Truncation is
+        never silent: every dropped row is metered into the bound
+        usage/metrics (``Usage.rows_truncated``,
+        ``repro_exec_rows_truncated_total`` — see
+        :meth:`bind_udf_meters`) and EXPLAIN ANALYZE output carries a
+        truncation note.
 
         With ``analyze=True``, SELECTs are pre-flighted through the
         static analyzer and an :class:`~repro.errors.AnalysisError`
@@ -258,6 +275,7 @@ class Database:
                 optimize=optimize,
                 analyze=analyze,
                 udf_batch_size=udf_batch_size,
+                max_rows=max_rows,
             )
             return ResultSet(
                 ["plan"],
@@ -274,6 +292,11 @@ class Database:
             )
             result = planner.run_select(statement)
             self._meter_optimizer(optimizer)
+            if max_rows is not None and len(result.rows) > max_rows:
+                self._meter_truncation(len(result.rows) - max_rows)
+                result = ResultSet(
+                    result.columns, result.rows[:max_rows]
+                )
             return result
         if isinstance(statement, ast.CreateTable):
             self._execute_create(statement)
@@ -308,6 +331,7 @@ class Database:
         optimize: bool = True,
         analyze: bool = False,
         udf_batch_size: "int | str | None" = "auto",
+        max_rows: int | None = None,
     ):
         """Execute a SELECT with per-operator instrumentation.
 
@@ -337,6 +361,11 @@ class Database:
         proxy, stats = instrument_plan(plan)
         rows = list(proxy.execute())
         self._meter_optimizer(optimizer)
+        truncated = None
+        if max_rows is not None and len(rows) > max_rows:
+            truncated = (max_rows, len(rows))
+            self._meter_truncation(len(rows) - max_rows)
+            rows = rows[:max_rows]
         return AnalyzedQuery(
             stats=stats,
             result=ResultSet(names, rows),
@@ -345,6 +374,7 @@ class Database:
                 if optimizer is not None and optimizer.report.decisions
                 else None
             ),
+            truncated=truncated,
         )
 
     def explain(

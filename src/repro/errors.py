@@ -66,6 +66,32 @@ class AnalysisError(DatabaseError):
 
 
 # --------------------------------------------------------------------------
+# Repair loop errors (repro.core.repair)
+# --------------------------------------------------------------------------
+
+
+class RepairExhaustedError(ReproError):
+    """The validate→repair→retry loop ran out of repair budget.
+
+    Carries the full attempt history (a list of
+    :class:`repro.core.repair.RepairAttempt`, original synthesis first)
+    so the structured ``TAGError`` built from this exception — and any
+    fallback tier that inspects it — can show every SQL candidate that
+    was tried and why each one failed.  The last attempt's underlying
+    engine error is chained as ``__cause__``.
+    """
+
+    def __init__(self, attempts: list) -> None:
+        repairs = max(len(attempts) - 1, 0)
+        super().__init__(
+            f"repair budget exhausted after {repairs} "
+            f"repair{'s' if repairs != 1 else ''} "
+            f"({len(attempts)} failed attempts)"
+        )
+        self.attempts = list(attempts)
+
+
+# --------------------------------------------------------------------------
 # Simulated language model errors
 # --------------------------------------------------------------------------
 

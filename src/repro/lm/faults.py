@@ -27,11 +27,13 @@ instead — precise per-call control for tests (e.g. "fail the next five
 calls") under a serialized, deterministic call schedule.
 
 Batch contract.  ``complete_batch`` *peeks*: if any prompt in the batch
-would fault, the batch raises that fault without consuming any attempt
-or billing anything — "the batch was rejected".  Callers that need
-per-prompt outcomes (``BatchingLM``'s chunk replay, ``ResilientLM``'s
-batch fallback) then replay prompts individually through ``complete``,
-which is where faults are actually consumed and metered.
+would draw an *error* fault, the batch raises that fault without
+consuming any attempt or billing anything — "the batch was rejected".
+Callers that need per-prompt outcomes (``BatchingLM``'s chunk replay,
+``ResilientLM``'s batch fallback) then replay prompts individually
+through ``complete``, which is where faults are actually consumed and
+metered.  Response-mutating kinds (``malformed_sql``, ``latency_spike``)
+never reject a batch: the affected responses are returned mutated.
 
 Accounting.  Every injected fault increments ``usage.faults_injected``;
 fault errors carry ``latency_s`` (simulated seconds burned before the
@@ -44,6 +46,7 @@ Latency spikes return a real response with its latency inflated.
 from __future__ import annotations
 
 import hashlib
+import re
 import threading
 from dataclasses import dataclass, replace
 
@@ -58,7 +61,13 @@ from repro.lm.usage import Usage
 
 #: Injectable fault kinds, in cumulative-draw order.
 ERROR_KINDS = ("rate_limit", "timeout", "transient", "malformed")
-FAULT_KINDS = ERROR_KINDS + ("latency_spike",)
+#: Generation-level fault kinds: the call *succeeds* but the payload is
+#: wrong.  ``malformed_sql`` silently garbles the returned SQL text (a
+#: plausible-but-broken generation — the dominant text-to-SQL failure
+#: mode), so the failure only surfaces later, at parse/analysis/exec
+#: time; ``latency_spike`` inflates the response's latency.
+RESPONSE_KINDS = ("malformed_sql", "latency_spike")
+FAULT_KINDS = ERROR_KINDS + RESPONSE_KINDS
 
 
 @dataclass(frozen=True)
@@ -77,6 +86,11 @@ class FaultPlan:
     timeout_rate: float = 0.0
     transient_rate: float = 0.0
     malformed_rate: float = 0.0
+    #: Probability the call returns *garbled SQL text* instead of
+    #: erroring — the generation-level fault the repair loop exists
+    #: for.  Shares the error draw with the four error kinds (their
+    #: rates plus this one must sum to <= 1).
+    malformed_sql_rate: float = 0.0
     latency_spike_rate: float = 0.0
     script: tuple[str | None, ...] = ()
     #: Simulated seconds a timed-out call burns before failing.
@@ -94,6 +108,7 @@ class FaultPlan:
             "timeout_rate": self.timeout_rate,
             "transient_rate": self.transient_rate,
             "malformed_rate": self.malformed_rate,
+            "malformed_sql_rate": self.malformed_sql_rate,
             "latency_spike_rate": self.latency_spike_rate,
         }
         for name, rate in rates.items():
@@ -144,6 +159,7 @@ class FaultPlan:
             == self.timeout_rate
             == self.transient_rate
             == self.malformed_rate
+            == self.malformed_sql_rate
             == self.latency_spike_rate
             == 0.0
         )
@@ -164,12 +180,13 @@ class FaultPlan:
         spike_draw = int.from_bytes(digest[8:16], "big") / 2**64
         cumulative = 0.0
         for kind, rate in zip(
-            ERROR_KINDS,
+            ERROR_KINDS + ("malformed_sql",),
             (
                 self.rate_limit_rate,
                 self.timeout_rate,
                 self.transient_rate,
                 self.malformed_rate,
+                self.malformed_sql_rate,
             ),
         ):
             cumulative += rate
@@ -222,6 +239,8 @@ class FaultyLM:
             raise MalformedOutputError(
                 _garble(response.text), latency_s=response.latency_s
             )
+        if kind == "malformed_sql":
+            response = self._garble_sql(response)
         if kind == "latency_spike":
             response = self._spike(response)
         return response
@@ -246,15 +265,15 @@ class FaultyLM:
                 raise MalformedOutputError("<batch rejected>", latency_s=0.0)
         responses = self._inner.complete_batch(prompts, max_tokens)
         with self._lock:
-            spiked = []
+            mutated = []
             for prompt, response in zip(prompts, responses):
                 kind = self._consume_locked(prompt, max_tokens)
-                spiked.append(
-                    self._spike_locked(response)
-                    if kind == "latency_spike"
-                    else response
-                )
-        return spiked
+                if kind == "latency_spike":
+                    response = self._spike_locked(response)
+                elif kind == "malformed_sql":
+                    response = self._garble_sql_locked(response)
+                mutated.append(response)
+        return mutated
 
     # ------------------------------------------------------------------
     # internals
@@ -325,8 +344,41 @@ class FaultyLM:
         with self._lock:
             return self._spike_locked(response)
 
+    def _garble_sql_locked(self, response: LMResponse) -> LMResponse:
+        self.usage.faults_injected += 1
+        return replace(response, text=_garble_sql(response.text))
+
+    def _garble_sql(self, response: LMResponse) -> LMResponse:
+        with self._lock:
+            return self._garble_sql_locked(response)
+
 
 def _garble(text: str) -> str:
     """A deterministic 'truncated/corrupted decode' of a response."""
     cut = max(1, len(text) // 3)
     return text[:cut][::-1] + "�"
+
+
+def _garble_sql(sql: str) -> str:
+    """A deterministically-broken generation of a SQL response.
+
+    Two variants, chosen by a pure hash of the text so the choice is
+    run- and worker-invariant: a *hallucinated column* prepended to the
+    SELECT list (parses, then fails binding — ANA003 territory), or a
+    corrupted-decode prefix (fails to parse at all).  Both surface only
+    when the caller tries to use the SQL, exactly like a real bad
+    generation.
+    """
+    digest = hashlib.sha256(sql.encode()).digest()
+    if digest[0] % 2:
+        hallucinated = re.sub(
+            r"^(\s*SELECT\s+)",
+            r"\1hallucinated_col, ",
+            sql,
+            count=1,
+            flags=re.IGNORECASE,
+        )
+        if hallucinated != sql:
+            return hallucinated
+    cut = max(1, len(sql) // 3)
+    return sql[:cut][::-1] + sql[cut:]

@@ -26,6 +26,7 @@ def default_handlers() -> list:
     when a model is constructed.
     """
     from repro.lm.handlers.answer import AnswerHandler
+    from repro.lm.handlers.repair import RepairHandler
     from repro.lm.handlers.text2sql import Text2SQLHandler
 
     return [
@@ -34,6 +35,9 @@ def default_handlers() -> list:
         RelevanceHandler(),
         ComparisonHandler(),
         SummaryHandler(),
+        # Repair before Text2SQL: the repair prompt embeds the same
+        # schema block, so the more specific format must route first.
+        RepairHandler(),
         Text2SQLHandler(),
         AnswerHandler(),
     ]

@@ -1,0 +1,115 @@
+"""The SQL-repair capability: correct a failed query from diagnostics.
+
+Recognises the repair prompt format (:func:`repro.lm.prompts
+.repair_prompt`) — the BIRD schema plus ``-- Failed SQL:`` and
+``-- Diagnostics:`` lines — and behaves the way feedback-driven
+self-correction is observed to work in text-to-SQL LMs:
+
+- *grounded* diagnostics (an unknown or wrong-case column/table named
+  by the analyzer or planner) get a targeted edit: the identifier is
+  case-corrected against the schema, or a hallucinated column is
+  dropped from the SELECT list;
+- anything else (syntax garbage, unfixable semantics) is answered by
+  re-deriving the query from the question with the same semantic
+  parser the Text2SQL capability uses — a clean regeneration informed
+  by the schema rather than a patch of unparseable text.
+
+Both paths are deterministic, so repair outcomes are identical across
+runs and worker counts like every other simulated capability.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lm.handlers.text2sql import (
+    _parse_external_knowledge_line,
+    _parse_question,
+    _parse_schema,
+    _synthesize,
+    parse_external_knowledge,
+)
+from repro.lm.prompts import REPAIR_INSTRUCTION
+from repro.lm.router import HandlerContext
+
+_FAILED_SQL_RE = re.compile(r"^-- Failed SQL: (.*)$", re.MULTILINE)
+_DIAGNOSTICS_RE = re.compile(r"^-- Diagnostics: (.*)$", re.MULTILINE)
+#: Unknown-identifier phrasings of the analyzer (ANA002/ANA003) and the
+#: planner/row-layout resolvers; group 1 is the (possibly qualified,
+#: possibly quoted) identifier.
+_UNKNOWN_NAME_RE = re.compile(
+    r"unknown (?:column|table) '?\"?([A-Za-z_][A-Za-z0-9_.]*)\"?'?"
+)
+
+
+class RepairHandler:
+    """Recognises the repair prompt and emits corrected SQL."""
+
+    def matches(self, prompt: str) -> bool:
+        return REPAIR_INSTRUCTION in prompt and "CREATE TABLE" in prompt
+
+    def handle(self, prompt: str, context: HandlerContext) -> str:
+        tables, fk_edges = _parse_schema(prompt)
+        failed_sql = _parse_line(_FAILED_SQL_RE, prompt)
+        diagnostics = _parse_line(_DIAGNOSTICS_RE, prompt)
+        if failed_sql and tables:
+            fixed = _targeted_fix(failed_sql, diagnostics, tables)
+            if fixed is not None:
+                return fixed
+        question = _parse_question(prompt)
+        if question is None or not tables:
+            return "SELECT 1"
+        overrides = parse_external_knowledge(
+            _parse_external_knowledge_line(prompt)
+        )
+        return _synthesize(
+            question, tables, fk_edges, context.fuzzy, overrides
+        )
+
+
+def _parse_line(pattern: re.Pattern, prompt: str) -> str:
+    match = pattern.search(prompt)
+    return match.group(1).strip() if match is not None else ""
+
+
+def _targeted_fix(
+    failed_sql: str,
+    diagnostics: str,
+    tables: dict[str, list[str]],
+) -> str | None:
+    """Edit the failed SQL in place when the diagnostics ground it.
+
+    Returns None when no edit applies (or the edit is a no-op), in
+    which case the caller re-derives the query from the question.
+    """
+    sql = failed_sql
+    for name in _UNKNOWN_NAME_RE.findall(diagnostics):
+        bare = name.split(".")[-1]
+        actual = _schema_spelling(bare, tables)
+        if actual is not None and actual != bare:
+            # Wrong-case identifier: respell it as the schema does.
+            sql = re.sub(rf"\b{re.escape(bare)}\b", actual, sql)
+        elif actual is None:
+            # Hallucinated column: drop it from the SELECT list.
+            sql = re.sub(
+                rf"^(\s*SELECT\s+){re.escape(bare)}\s*,\s*",
+                r"\1",
+                sql,
+                count=1,
+                flags=re.IGNORECASE,
+            )
+    return sql if sql != failed_sql else None
+
+
+def _schema_spelling(
+    name: str, tables: dict[str, list[str]]
+) -> str | None:
+    """The schema's spelling of ``name``, matched case-insensitively."""
+    lowered = name.lower()
+    for table, columns in tables.items():
+        if table.lower() == lowered:
+            return table
+        for column in columns:
+            if column.lower() == lowered:
+                return column
+    return None

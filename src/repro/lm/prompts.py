@@ -50,6 +50,11 @@ TEXT2SQL_INSTRUCTION = (
     "-- Using valid SQLite and understading External Knowledge, answer "
     "the following questions for the tables provided above."
 )
+REPAIR_INSTRUCTION = (
+    "-- The SQL above failed against the tables provided. Using the "
+    "diagnostics, write a corrected SQLite query that answers the "
+    "question below."
+)
 
 
 def judgment_prompt(condition: str) -> str:
@@ -114,6 +119,41 @@ def text2sql_prompt(
         f"{schema_sql}\n\n"
         f"-- External Knowledge: {knowledge}\n"
         f"{TEXT2SQL_INSTRUCTION}\n"
+        f"-- {question}\n"
+        f"SELECT"
+    )
+
+
+def repair_prompt(
+    schema_sql: str,
+    question: str,
+    failed_sql: str,
+    diagnostics: str,
+    external_knowledge: str | None = None,
+    attempt: int = 1,
+) -> str:
+    """SQL-repair prompt: the BIRD schema plus the failed attempt.
+
+    Extends the Text2SQL format with the SQL that failed and the
+    analyzer/engine diagnostics describing why, so the model can
+    correct rather than regenerate blindly.  The failed SQL and
+    diagnostics are flattened to single ``--`` comment lines to keep
+    the BIRD line-oriented structure parseable by the prompt router.
+    ``attempt`` (1-based) is embedded so consecutive repairs of the
+    same failed SQL are distinct prompts — a later attempt is never
+    served a stale response by a prompt cache, and fault draws advance
+    naturally.
+    """
+    knowledge = external_knowledge or "None"
+    flat_sql = " ".join(failed_sql.split()) or "<empty>"
+    flat_diag = " ".join(diagnostics.split()) or "unknown failure"
+    return (
+        f"{schema_sql}\n\n"
+        f"-- External Knowledge: {knowledge}\n"
+        f"-- Repair attempt: {attempt}\n"
+        f"-- Failed SQL: {flat_sql}\n"
+        f"-- Diagnostics: {flat_diag}\n"
+        f"{REPAIR_INSTRUCTION}\n"
         f"-- {question}\n"
         f"SELECT"
     )

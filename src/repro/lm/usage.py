@@ -54,6 +54,18 @@ class Usage:
     deadline kill respectively).  All stay zero on a healthy path, so a
     fault-free run's accounting is bit-identical with or without the
     resilience stack.
+
+    The repair counters are metered by the self-correcting pipeline
+    (:class:`repro.core.repair.SelfCorrectingPipeline`):
+    ``repair_attempts`` counts repair prompts issued (one per retry of
+    a failed SQL candidate), ``repair_successes`` counts requests whose
+    repaired SQL executed cleanly, and ``repair_exhausted`` counts
+    requests that burned the whole ``max_repairs`` budget and degraded.
+    ``rows_truncated`` is metered by the engine when a ``max_rows``
+    result cap drops rows (one per dropped row), via the same
+    ``bind_udf_meters`` binding as the UDF-cache counters.  All stay
+    zero with ``max_repairs=0`` and no row cap, so an unrepaired run's
+    accounting is bit-identical with or without the repair loop.
     """
 
     calls: int = 0
@@ -73,6 +85,10 @@ class Usage:
     retries: int = 0
     breaker_trips: int = 0
     deadline_exceeded: int = 0
+    repair_attempts: int = 0
+    repair_successes: int = 0
+    repair_exhausted: int = 0
+    rows_truncated: int = 0
 
     def snapshot(self) -> "Usage":
         return Usage(

@@ -14,7 +14,9 @@ from repro.bench.queries import QuerySpec
 from repro.core import (
     LMQuerySynthesizer,
     NoGenerator,
+    RepairPolicy,
     SQLExecutor,
+    SelfCorrectingPipeline,
     TAGPipeline,
 )
 from repro.data.base import Dataset
@@ -29,25 +31,47 @@ class Text2SQLMethod(Method):
     ``-- External Knowledge:`` line (None reproduces the paper's runs;
     the oracle provider in :mod:`repro.bench.external_knowledge` powers
     the evidence ablation).
+
+    ``max_repairs`` enables the validate→repair→retry loop
+    (:class:`repro.core.repair.SelfCorrectingPipeline`): failed SQL is
+    fed back to the model with diagnostics up to that many times before
+    the request fails.  The default 0 reproduces the paper's one-shot
+    behavior exactly.
     """
 
     name = "Text2SQL"
 
-    def __init__(self, lm, external_knowledge_provider=None) -> None:
+    def __init__(
+        self,
+        lm,
+        external_knowledge_provider=None,
+        max_repairs: int = 0,
+    ) -> None:
         super().__init__(lm)
         self.external_knowledge_provider = external_knowledge_provider
+        self.max_repairs = max_repairs
 
     def _answer(self, spec: QuerySpec, dataset: Dataset) -> Any:
         knowledge = None
         if self.external_knowledge_provider is not None:
             knowledge = self.external_knowledge_provider(spec.question)
-        pipeline = TAGPipeline(
+        steps = (
             LMQuerySynthesizer(
                 self.lm, dataset, external_knowledge=knowledge
             ),
             SQLExecutor(dataset.db, analyze=True),
             NoGenerator(),
         )
+        if self.max_repairs > 0:
+            pipeline = SelfCorrectingPipeline(
+                *steps,
+                lm=self.lm,
+                schema_sql=dataset.prompt_schema(),
+                policy=RepairPolicy(max_repairs=self.max_repairs),
+                external_knowledge=knowledge,
+            )
+        else:
+            pipeline = TAGPipeline(*steps)
         result = pipeline.run(spec.question)
         self.extra_cost(SQL_EXECUTION_COST_S)
         if result.error is not None:

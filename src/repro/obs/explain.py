@@ -178,13 +178,16 @@ class AnalyzedQuery:
     ``optimizer`` carries the query optimizer's decision report
     (duck-typed: anything with ``decisions`` and ``render()``) when the
     statement involved expensive UDFs; plans without LM work render
-    exactly as before.
+    exactly as before.  ``truncated`` is ``(kept, total)`` when a
+    ``max_rows`` cap dropped result rows — truncation is metered at
+    the engine and noted in the render, never silent.
     """
 
     stats: OperatorStats
     result: object  # a repro.db ResultSet (duck-typed, see module doc)
     cost: OperatorCostModel = DEFAULT_COST
     optimizer: object | None = None
+    truncated: "tuple[int, int] | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -196,4 +199,10 @@ class AnalyzedQuery:
             self.optimizer, "decisions", None
         ):
             rendered += "\n" + self.optimizer.render()
+        if self.truncated is not None:
+            kept, total = self.truncated
+            rendered += (
+                f"\nResult truncated: kept {kept} of {total} rows "
+                f"(max_rows={kept})"
+            )
         return rendered

@@ -76,6 +76,12 @@ class AdmissionPolicy:
     #: When True (default), requests whose SQL fails static analysis
     #: are rejected outright — they could only fail later and louder.
     reject_invalid: bool = True
+    #: The serving pipeline's ``max_repairs`` budget.  Each repair may
+    #: re-execute the query (and so re-incur its full LM cost), so the
+    #: worst case a request can cost is ``(1 + repair_budget)`` times
+    #: the one-shot estimate; admission prices that worst case.  0 (no
+    #: repair loop) reproduces one-shot pricing exactly.
+    repair_budget: int = 0
 
     def decide(self, request: str) -> AdmissionDecision:
         report = self.estimator(request)
@@ -94,11 +100,21 @@ class AdmissionPolicy:
                 report=report,
             )
         cost = report.cost
-        if cost is not None and cost.lm_calls > self.max_lm_calls:
+        attempts = 1 + self.repair_budget
+        repair_note = (
+            f" x{attempts} worst-case repair attempts"
+            if self.repair_budget
+            else ""
+        )
+        if (
+            cost is not None
+            and cost.lm_calls * attempts > self.max_lm_calls
+        ):
             return AdmissionDecision(
                 admit=False,
                 reason=(
-                    f"estimated {cost.lm_calls} LM calls exceeds "
+                    f"estimated {cost.lm_calls} LM calls"
+                    f"{repair_note} exceeds "
                     f"admission budget {self.max_lm_calls}"
                 ),
                 report=report,
@@ -106,12 +122,13 @@ class AdmissionPolicy:
         if (
             cost is not None
             and self.max_lm_tokens is not None
-            and cost.lm_tokens > self.max_lm_tokens
+            and cost.lm_tokens * attempts > self.max_lm_tokens
         ):
             return AdmissionDecision(
                 admit=False,
                 reason=(
-                    f"estimated {cost.lm_tokens} LM tokens exceeds "
+                    f"estimated {cost.lm_tokens} LM tokens"
+                    f"{repair_note} exceeds "
                     f"admission budget {self.max_lm_tokens}"
                 ),
                 report=report,

@@ -1,0 +1,73 @@
+"""Metered ``max_rows`` truncation: row caps are never silent.
+
+The executor's row cap used to slice results after the engine returned
+them — invisible to accounting, so a capped answer looked identical to
+a complete one.  Truncation now happens inside the engine, mirrored
+into the bound :class:`~repro.lm.usage.Usage` and metrics registry and
+surfaced on EXPLAIN ANALYZE output.
+"""
+
+from repro.core import SQLExecutor
+from repro.lm.usage import Usage
+from repro.obs import MetricsRegistry
+
+
+class TestEngineTruncation:
+    def test_execute_meters_dropped_rows(self, movies_db):
+        usage = Usage()
+        metrics = MetricsRegistry()
+        movies_db.bind_udf_meters(usage=usage, metrics=metrics)
+        result = movies_db.execute("SELECT title FROM movies", max_rows=2)
+        assert len(result.rows) == 2
+        assert usage.rows_truncated == 4  # 6 movies, kept 2
+        assert (
+            metrics.counter("repro_exec_rows_truncated_total").value == 4
+        )
+
+    def test_uncapped_execution_meters_nothing(self, movies_db):
+        usage = Usage()
+        movies_db.bind_udf_meters(usage=usage)
+        movies_db.execute("SELECT title FROM movies")
+        movies_db.execute("SELECT title FROM movies LIMIT 2", max_rows=6)
+        assert usage.rows_truncated == 0
+
+    def test_unbound_database_still_truncates(self, movies_db):
+        result = movies_db.execute("SELECT title FROM movies", max_rows=1)
+        assert len(result.rows) == 1
+
+    def test_explain_analyze_reports_truncation(self, movies_db):
+        analyzed = movies_db.explain_analyze(
+            "SELECT title FROM movies", max_rows=2
+        )
+        assert analyzed.truncated == (2, 6)
+        assert (
+            "Result truncated: kept 2 of 6 rows (max_rows=2)"
+            in analyzed.render()
+        )
+
+    def test_explain_analyze_no_truncation_no_note(self, movies_db):
+        analyzed = movies_db.explain_analyze("SELECT title FROM movies")
+        assert analyzed.truncated is None
+        assert "Result truncated" not in analyzed.render()
+
+
+class TestExecutorUsesEngineCap:
+    def test_sql_executor_cap_is_metered(self, movies_db):
+        usage = Usage()
+        movies_db.bind_udf_meters(usage=usage)
+        records = SQLExecutor(movies_db, max_rows=2).execute(
+            "SELECT * FROM movies"
+        )
+        assert len(records) == 2
+        assert usage.rows_truncated == 4
+
+    def test_analyzing_executor_meters_once(self, movies_db):
+        """The analyze=True path goes through EXPLAIN ANALYZE; the cap
+        must not be double-counted."""
+        usage = Usage()
+        movies_db.bind_udf_meters(usage=usage)
+        records = SQLExecutor(movies_db, analyze=True, max_rows=2).execute(
+            "SELECT title FROM movies"
+        )
+        assert len(records) == 2
+        assert usage.rows_truncated == 4

@@ -1,0 +1,95 @@
+"""Unit tests for the SQL-repair capability (RepairHandler)."""
+
+from repro.lm import prompts
+
+SCHEMA = (
+    "CREATE TABLE circuits\n(\n"
+    "    circuitId INTEGER PRIMARY KEY,\n"
+    "    name TEXT,\n"
+    "    location TEXT\n)"
+)
+
+
+def _repair(lm, failed_sql, diagnostics, question="What circuits exist?"):
+    prompt = prompts.repair_prompt(
+        SCHEMA, question, failed_sql, diagnostics
+    )
+    return lm.complete(prompt).text
+
+
+class TestRouting:
+    def test_repair_prompt_routes_to_repair_handler(self, lm):
+        """The repair prompt embeds the full text2sql schema block; the
+        router must still pick the repair handler (registered first)."""
+        sql = _repair(
+            lm,
+            "SELECT NAME FROM circuits",
+            "unknown column 'NAME'",
+        )
+        assert sql == "SELECT name FROM circuits"
+
+    def test_text2sql_prompt_unaffected(self, lm):
+        prompt = prompts.text2sql_prompt(SCHEMA, "How many circuits?")
+        sql = lm.complete(prompt).text
+        assert sql.upper().startswith("SELECT")
+        assert "Failed SQL" not in sql
+
+
+class TestTargetedFixes:
+    def test_case_corrects_identifier_everywhere(self, lm):
+        sql = _repair(
+            lm,
+            "SELECT Location FROM circuits ORDER BY Location",
+            "error ANA003 at 7..15: unknown column 'Location'",
+        )
+        assert sql == "SELECT location FROM circuits ORDER BY location"
+
+    def test_drops_hallucinated_select_column(self, lm):
+        sql = _repair(
+            lm,
+            "SELECT hallucinated_col, name FROM circuits",
+            "unknown column 'hallucinated_col'",
+        )
+        assert sql == "SELECT name FROM circuits"
+
+    def test_case_corrects_table_name(self, lm):
+        sql = _repair(
+            lm,
+            "SELECT name FROM Circuits",
+            "unknown table 'Circuits'",
+        )
+        assert sql == "SELECT name FROM circuits"
+
+
+class TestResynthesisFallback:
+    def test_unparseable_sql_is_rederived_from_question(
+        self, lm, datasets, suite
+    ):
+        """Syntax garbage cannot be patched: the handler re-derives the
+        query from the question with the text2sql parser, so the repair
+        equals a clean synthesis."""
+        dataset = datasets["formula_1"]
+        question = next(
+            s for s in suite if s.domain == "formula_1"
+        ).question
+        clean = lm.complete(
+            prompts.text2sql_prompt(dataset.prompt_schema(), question)
+        ).text
+        repaired = lm.complete(
+            prompts.repair_prompt(
+                dataset.prompt_schema(),
+                question,
+                "tluser TCELES broken garbage",
+                "syntax error at position 0: expected SELECT",
+            )
+        ).text
+        assert repaired == clean
+
+    def test_deterministic_across_calls(self, lm):
+        first = _repair(
+            lm, "SELECT NAME FROM circuits", "unknown column 'NAME'"
+        )
+        second = _repair(
+            lm, "SELECT NAME FROM circuits", "unknown column 'NAME'"
+        )
+        assert first == second

@@ -151,6 +151,27 @@ class TestBudgetSemantics:
         assert all(r.lm_calls == 0 for r in report.results)
         assert report.usage.calls == 0
 
+    def test_repair_budget_prices_worst_case(self, db):
+        """Each repair may re-execute the query, so admission prices
+        ``(1 + repair_budget)`` times the one-shot estimate: a request
+        that fits one-shot is rejected once repairs are allowed."""
+        fits_once = _policy(db, ROWS)
+        assert fits_once.decide("deep scan").admit
+        with_repairs = _policy(db, ROWS, repair_budget=2)
+        decision = with_repairs.decide("deep scan")
+        assert not decision.admit
+        assert "x3 worst-case repair attempts" in decision.reason
+        # A budget sized for the worst case admits it again.
+        roomy = _policy(db, 3 * ROWS, repair_budget=2)
+        assert roomy.decide("deep scan").admit
+
+    def test_zero_repair_budget_reason_unchanged(self, db):
+        """repair_budget=0 reproduces one-shot pricing and messages."""
+        plain = _policy(db, 0).decide("deep scan")
+        priced = _policy(db, 0, repair_budget=0).decide("deep scan")
+        assert plain == priced
+        assert "repair" not in plain.reason
+
     def test_token_budget(self, db):
         policy = AdmissionPolicy(
             estimator=SQLAdmissionEstimator(db, _query_for),

@@ -1,0 +1,184 @@
+"""Repair-loop determinism: identical bytes across runs AND workers.
+
+The self-correcting pipeline adds LM calls (repair prompts) and spans
+(``repair``) to a request's execution; the determinism contract of the
+serving/observability stack must survive them.  Repair schedules are
+pure functions of each request's own prompts — the fault draw hashes
+``(seed, prompt, attempt)`` and the repair prompt embeds the failed SQL
+and the attempt number — so the traced artifact with repairs firing is
+byte-identical for ``workers=1`` and ``workers=8``.
+
+The hypothesis property pins the loop's semantics: whenever a repair
+*succeeds*, the answer equals the healthy-run oracle answer — repair
+recovers the correct query; it never substitutes a different one.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.suite import build_suite
+from repro.core import (
+    LMQuerySynthesizer,
+    NoGenerator,
+    RepairPolicy,
+    SQLExecutor,
+    SelfCorrectingPipeline,
+    TAGPipeline,
+)
+from repro.data import load_domain
+from repro.lm import FaultPlan, FaultyLM, LMConfig, SimulatedLM
+from repro.obs import Tracer, to_chrome, to_jsonl
+from repro.serve import TagServer
+
+#: High enough that several of the ten questions need repairs, low
+#: enough that budget 2 usually recovers them.
+GARBLE_RATE = 0.6
+FAULT_SEED = 5
+
+
+@pytest.fixture(scope="module")
+def formula_1():
+    return load_domain("formula_1", seed=0)
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return [
+        spec.question
+        for spec in build_suite()
+        if spec.domain == "formula_1"
+    ]
+
+
+def _serve(dataset, questions, workers, max_repairs=2):
+    def factory(lm):
+        return SelfCorrectingPipeline(
+            LMQuerySynthesizer(lm, dataset),
+            SQLExecutor(dataset.db, analyze=True),
+            NoGenerator(),
+            lm=lm,
+            schema_sql=dataset.prompt_schema(),
+            policy=RepairPolicy(max_repairs=max_repairs),
+        )
+
+    tracer = Tracer()
+    server = TagServer(
+        factory,
+        SimulatedLM(LMConfig(seed=0)),
+        workers=workers,
+        window=4,
+        fault_plan=FaultPlan(
+            seed=FAULT_SEED, malformed_sql_rate=GARBLE_RATE
+        ),
+        tracer=tracer,
+    )
+    return tracer, server.serve(questions)
+
+
+class TestWorkerCountInvariance:
+    def test_repairs_fire_and_traces_match_workers_1_vs_8(
+        self, formula_1, questions
+    ):
+        tracer_1, report_1 = _serve(formula_1, questions, workers=1)
+        tracer_8, report_8 = _serve(formula_1, questions, workers=8)
+        # The scenario is only meaningful if the loop actually ran.
+        assert report_1.usage.repair_attempts > 0
+        assert report_1.usage.repair_successes > 0
+        # Batch-shape counters (batches) legitimately vary with the
+        # worker count; every repair/fault/call counter must not.
+        for counter in (
+            "repair_attempts",
+            "repair_successes",
+            "repair_exhausted",
+            "faults_injected",
+            "calls",
+        ):
+            assert getattr(report_1.usage, counter) == getattr(
+                report_8.usage, counter
+            )
+        assert report_1.answers() == report_8.answers()
+        assert to_chrome(tracer_1) == to_chrome(tracer_8)
+        assert to_jsonl(tracer_1) == to_jsonl(tracer_8)
+
+    def test_identical_across_repeat_runs(self, formula_1, questions):
+        tracer_a, report_a = _serve(formula_1, questions, workers=3)
+        tracer_b, report_b = _serve(formula_1, questions, workers=3)
+        assert report_a.usage == report_b.usage
+        assert to_jsonl(tracer_a) == to_jsonl(tracer_b)
+
+    def test_repair_spans_nested_under_execution_step(
+        self, formula_1, questions
+    ):
+        tracer, report = _serve(formula_1, questions, workers=2)
+        names = [
+            span.name
+            for _, root in tracer.roots
+            for span in root.walk()
+        ]
+        assert "repair" in names
+        # Repair LM calls happen inside the repair span's subtree.
+        repaired = next(
+            root
+            for _, root in tracer.roots
+            if any(span.name == "repair" for span in root.walk())
+        )
+        repair_span = next(
+            span for span in repaired.walk() if span.name == "repair"
+        )
+        assert repair_span.attrs["attempt"] == 1
+
+
+_PROPERTY_DATASET = load_domain("formula_1", seed=0)
+_PROPERTY_QUESTIONS = [
+    spec.question
+    for spec in build_suite()
+    if spec.domain == "formula_1"
+][:4]
+_ORACLE = {}
+for _question in _PROPERTY_QUESTIONS:
+    _result = TAGPipeline(
+        LMQuerySynthesizer(
+            SimulatedLM(LMConfig(seed=0)), _PROPERTY_DATASET
+        ),
+        SQLExecutor(_PROPERTY_DATASET.db, analyze=True),
+        NoGenerator(),
+    ).run(_question)
+    assert _result.ok
+    _ORACLE[_question] = _result.answer
+
+
+class TestRepairRestoresOracleAnswer:
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        rate=st.sampled_from([0.2, 0.4, 0.6, 0.9]),
+        budget=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_repaired_answer_equals_oracle(self, seed, rate, budget):
+        """For any fault seed/rate and repair budget: every request the
+        loop answers (repaired or not) matches the healthy run."""
+        lm = FaultyLM(
+            SimulatedLM(LMConfig(seed=0)),
+            FaultPlan(seed=seed, malformed_sql_rate=rate),
+        )
+        pipeline = SelfCorrectingPipeline(
+            LMQuerySynthesizer(lm, _PROPERTY_DATASET),
+            SQLExecutor(_PROPERTY_DATASET.db, analyze=True),
+            NoGenerator(),
+            lm=lm,
+            schema_sql=_PROPERTY_DATASET.prompt_schema(),
+            policy=RepairPolicy(max_repairs=budget),
+        )
+        for question in _PROPERTY_QUESTIONS:
+            result = pipeline.run(question)
+            if result.ok:
+                assert result.answer == _ORACLE[question]
+                if result.repairs:
+                    # A successful loop ends with an ok attempt whose
+                    # SQL is what actually ran.
+                    assert result.repairs[-1].ok
+                    assert result.repairs[-1].sql == result.query
+            else:
+                assert result.error.kind == "repair_exhausted"
+                assert len(result.error.repairs) == budget + 1
