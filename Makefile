@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-optimizer test-repair bench bench-smoke lint analyze-smoke trace-smoke verify
+.PHONY: test test-optimizer test-repair test-conc bench bench-smoke lint lint-conc analyze-smoke trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,12 +22,24 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_repair.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_repair.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py benchmarks/bench_racecheck.py -q
+
+# The concurrency suites on their own: static-analyzer golden rules
+# and lockset properties, dynamic checker unit tests, and the serve
+# worker-sweep replay under an installed RaceChecker.
+test-conc:
+	$(PYTHON) -m pytest tests/analysis/test_concurrency.py tests/obs/test_racecheck.py tests/serve/test_racecheck_serve.py -q
 
 # Determinism linter over src/ (see repro.analysis.lint); exits
 # nonzero on any unsuppressed finding.
 lint:
 	$(PYTHON) -m repro lint
+
+# Static concurrency analyzer over src/ (lockset inference, shared
+# state, lock order — see repro.analysis.concurrency); exits nonzero
+# on any unwaived CONC finding.
+lint-conc:
+	$(PYTHON) -m repro lint --conc
 
 # The static analyzer must accept a known-good query and reject a
 # known-bad one, end to end through the CLI.
@@ -47,8 +59,8 @@ trace-smoke:
 	@echo "trace-smoke: byte-identical across worker counts"
 
 # The pre-merge gate: full tier-1 suite, a smoke-mode pass of the
-# resilience, repair, and trace-overhead benchmarks, a clean
-# determinism-lint baseline, an analyzer round-trip through the CLI,
-# and the trace worker-invariance smoke.
-verify: test bench-smoke lint analyze-smoke trace-smoke
+# resilience, repair, trace-overhead, and race-check benchmarks, clean
+# determinism-lint and concurrency baselines, an analyzer round-trip
+# through the CLI, and the trace worker-invariance smoke.
+verify: test test-conc bench-smoke lint lint-conc analyze-smoke trace-smoke
 	@echo "verify: OK"

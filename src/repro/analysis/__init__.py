@@ -16,8 +16,20 @@ Two pillars:
   reads outside the virtual clock, no unseeded randomness, no bare
   excepts, no mutable default arguments, and lock discipline for the
   server's shared state.
+
+* :mod:`repro.analysis.concurrency` — the static half of the two-layer
+  race detector (``python -m repro lint --conc``): interprocedural
+  lockset inference over the class-attribute mutation map, the
+  worker-shared object closure, and span-carrying CONC201–CONC208
+  diagnostics.  The dynamic half is :mod:`repro.obs.racecheck`.
 """
 
+from repro.analysis.concurrency import (
+    ConcFinding,
+    ConcurrencyReport,
+    analyze_source,
+    analyze_tree,
+)
 from repro.analysis.cost import CostModel
 from repro.analysis.diagnostics import (
     CostEstimate,
@@ -29,6 +41,8 @@ from repro.analysis.diagnostics import (
 from repro.analysis.sql import SQLAnalyzer
 
 __all__ = [
+    "ConcFinding",
+    "ConcurrencyReport",
     "CostEstimate",
     "CostModel",
     "Diagnostic",
@@ -36,4 +50,6 @@ __all__ = [
     "Severity",
     "Span",
     "SQLAnalyzer",
+    "analyze_source",
+    "analyze_tree",
 ]

@@ -21,9 +21,15 @@ DET103  bare ``except:`` (swallows ``KeyboardInterrupt`` and hides the
         failure taxonomy the serving layer depends on)
 DET104  mutable default argument (``def f(x=[])``) — shared across
         calls, a classic source of cross-request state leaks
-DET105  lock discipline: a ``*_locked`` helper called outside a
-        ``with <...lock...>:`` block (the naming convention the serve
-        layer uses for state that must be mutated under its lock)
+DET105  lock discipline: a ``*_locked`` helper reachable with an empty
+        lockset (the naming convention the serve layer uses for state
+        that must be mutated under its lock).  Backed by the
+        interprocedural lockset inference in
+        :mod:`repro.analysis.concurrency`, so aliased method references
+        (``m = self._f_locked; m()``), ``self.__class__`` dispatch,
+        helpers whose callers hold the lock for them, and
+        ``racecheck.guard(...)``-wrapped scopes are all resolved —
+        fixing the old name-only check's blind spots in both directions
 DET106  runtime identity in trace stamping: ``id()``/``hash()``/
         ``uuid.*`` calls inside ``repro/obs/`` — span identity must be
         assigned at export time from (request index, tree order), never
@@ -48,6 +54,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
+
+# One-way dependency: the linter consumes the concurrency analyzer's
+# lockset engine (for DET105); concurrency.py never imports this module.
+from repro.analysis import concurrency as _conc
 
 try:  # Python 3.11+
     import tomllib
@@ -127,8 +137,6 @@ class _FileLinter(ast.NodeVisitor):
         self.modules: dict[str, str] = {}
         #: names imported from modules: local name -> (module, attr)
         self.from_imports: dict[str, tuple[str, str]] = {}
-        #: nesting stack of (function name, holds_lock) frames
-        self._with_lock_depth = 0
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -259,22 +267,8 @@ class _FileLinter(ast.NodeVisitor):
                 "across interpreter runs; derive identity from "
                 "(request index, tree order) at export time",
             )
-        # DET105: *_locked helpers must run under a lock.
-        name = None
-        if isinstance(node.func, ast.Attribute):
-            name = node.func.attr
-        elif isinstance(node.func, ast.Name):
-            name = node.func.id
-        if (
-            name is not None
-            and name.endswith("_locked")
-            and self._with_lock_depth == 0
-        ):
-            self._flag(
-                node,
-                "DET105",
-                f"{name}() called outside a 'with <lock>:' block",
-            )
+        # DET105 is no longer checked here: the lockset inference in
+        # repro.analysis.concurrency handles it (see _det105_findings).
         self.generic_visit(node)
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -310,42 +304,49 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
-        if node.name.endswith("_locked"):
-            # A locked helper's body is by contract already under the
-            # caller's lock; calls to sibling helpers are fine.
-            self._with_lock_depth += 1
-            self.generic_visit(node)
-            self._with_lock_depth -= 1
-        else:
-            self.generic_visit(node)
+        self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self.visit_FunctionDef(node)  # type: ignore[arg-type]
 
-    def visit_With(self, node: ast.With) -> None:
-        if any(
-            "lock" in _dotted(item.context_expr).lower()
-            or "cv" in _dotted(item.context_expr).lower()
-            for item in node.items
+
+def _det105_findings(tree: ast.Module, path: str) -> list[LintFinding]:
+    """DET105 via the concurrency analyzer's lockset inference.
+
+    A ``*_locked`` helper is flagged at every call site reachable with
+    an empty effective lockset — interprocedurally, so helpers invoked
+    through aliases or ``self.__class__``, and helpers whose callers
+    provably hold the lock, are both resolved correctly.
+    """
+    collector = _conc._ModuleCollector(path)
+    collector.visit(tree)
+    findings: list[LintFinding] = []
+    for model in collector.classes:
+        for callee, line, column, _method in _conc.unlocked_locked_calls(
+            model
         ):
-            self._with_lock_depth += 1
-            self.generic_visit(node)
-            self._with_lock_depth -= 1
-        else:
-            self.generic_visit(node)
-
-
-def _dotted(expression: ast.expr) -> str:
-    """Best-effort dotted rendering of a context expression."""
-    if isinstance(expression, ast.Call):
-        expression = expression.func
-    parts: list[str] = []
-    while isinstance(expression, ast.Attribute):
-        parts.append(expression.attr)
-        expression = expression.value
-    if isinstance(expression, ast.Name):
-        parts.append(expression.id)
-    return ".".join(reversed(parts))
+            findings.append(
+                LintFinding(
+                    path,
+                    line,
+                    column,
+                    "DET105",
+                    f"{callee}() called outside a 'with <lock>:' block",
+                )
+            )
+    for callee, line, column, _name in _conc.unlocked_module_locked_calls(
+        collector.module_functions
+    ):
+        findings.append(
+            LintFinding(
+                path,
+                line,
+                column,
+                "DET105",
+                f"{callee}() called outside a 'with <lock>:' block",
+            )
+        )
+    return findings
 
 
 # ---------------------------------------------------------------------------
@@ -372,9 +373,8 @@ def lint_file(path: Path, root: Path) -> list[LintFinding]:
         ]
     linter = _FileLinter(relative, is_clock, is_obs)
     linter.visit(tree)
-    return sorted(
-        linter.findings, key=lambda f: (f.line, f.column, f.code)
-    )
+    findings = linter.findings + _det105_findings(tree, relative)
+    return sorted(findings, key=lambda f: (f.line, f.column, f.code))
 
 
 def load_allowlist(root: Path) -> dict[str, str]:

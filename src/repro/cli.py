@@ -11,7 +11,7 @@ Usage (also via ``python -m repro``):
                           [--trace out.json]
     python -m repro trace [--requests N] [--workers N] [--format F] [--out P]
     python -m repro analyze "<SELECT ...>" --db <domain>
-    python -m repro lint [--root DIR]
+    python -m repro lint [--root DIR] [--conc] [--format text|json]
 
 ``EXPLAIN ANALYZE <select>`` works through the ``sql`` subcommand: the
 annotated plan (rows in/out and virtual time per operator) prints as
@@ -191,6 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--root",
         default=".",
         help="repository root containing src/ and pyproject.toml",
+    )
+    lint.add_argument(
+        "--conc",
+        action="store_true",
+        help=(
+            "run the concurrency-safety analyzer (CONC201-CONC208, see "
+            "repro.analysis.concurrency) instead of the determinism rules"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json emits a machine-readable report)",
     )
 
     return parser
@@ -505,21 +519,65 @@ def _command_analyze(args) -> int:
 
 
 def _command_lint(args) -> int:
+    import json
     from pathlib import Path
-
-    from repro.analysis.lint import lint_tree
 
     root = Path(args.root)
     if not (root / "src").is_dir():
         print(f"error: no src/ under {root}", file=sys.stderr)
         return 2
+    if args.conc:
+        from repro.analysis.concurrency import analyze_tree
+
+        report = analyze_tree(root)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+
+    from repro.analysis.lint import lint_tree
+
     reported, suppressed = lint_tree(root)
+    counts: dict[str, int] = {}
+    for finding in reported:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": not reported,
+                    "counts": dict(sorted(counts.items())),
+                    "findings": [
+                        {
+                            "path": f.path,
+                            "line": f.line,
+                            "column": f.column,
+                            "code": f.code,
+                            "message": f.message,
+                        }
+                        for f in reported
+                    ],
+                    "suppressed": len(suppressed),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if reported else 0
     for finding in reported:
         print(finding.render())
     summary = f"lint: {len(reported)} finding(s)"
     if suppressed:
         summary += f", {len(suppressed)} suppressed via pyproject"
     print(summary)
+    if counts:
+        print(
+            "per-rule: "
+            + ", ".join(
+                f"{code} x{n}" for code, n in sorted(counts.items())
+            )
+        )
     return 1 if reported else 0
 
 

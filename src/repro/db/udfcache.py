@@ -10,6 +10,13 @@ capacity, mirroring the serving layer's prompt cache semantics
 (:mod:`repro.serve.cache`): only a consuming ``lookup`` promotes an
 entry.
 
+Because the one ``Database`` is shared by every ``TagServer`` worker,
+the memo is lock-guarded: ``lookup`` is a get *plus* an LRU promotion
+and ``put`` is an insert plus eviction, both check-then-act sequences
+that interleave incorrectly without mutual exclusion.  (The concurrency
+analyzer's dynamic layer, :mod:`repro.obs.racecheck`, found exactly
+this in the serve worker sweep before the lock existed.)
+
 Error results are never cached; a failing UDF re-raises on every
 evaluation exactly like the per-row oracle path.  Hit/miss *metering*
 deliberately lives with the callers (the batched plan operators and
@@ -20,8 +27,11 @@ dumb LRU so there is exactly one meter per surface.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
+
+from repro.obs import racecheck
 
 _MISSING = object()
 
@@ -38,31 +48,43 @@ class UDFMemoCache:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
 
     def lookup(self, key: Hashable) -> tuple[bool, Any]:
         """``(found, value)``; a hit promotes the entry to MRU."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            return False, None
-        self._entries.move_to_end(key)
-        return True, value
+        with racecheck.guard("UDFMemoCache._lock", self._lock):
+            racecheck.read("UDFMemoCache._entries")
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                return False, None
+            racecheck.write("UDFMemoCache._entries")
+            self._entries.move_to_end(key)
+            return True, value
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with racecheck.guard("UDFMemoCache._lock", self._lock):
+            racecheck.write("UDFMemoCache._entries")
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership test; never promotes."""
-        return key in self._entries
+        with racecheck.guard("UDFMemoCache._lock", self._lock):
+            racecheck.read("UDFMemoCache._entries")
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with racecheck.guard("UDFMemoCache._lock", self._lock):
+            racecheck.read("UDFMemoCache._entries")
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with racecheck.guard("UDFMemoCache._lock", self._lock):
+            racecheck.write("UDFMemoCache._entries")
+            self._entries.clear()

@@ -11,6 +11,10 @@ guarantees:
 - :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with
   deterministic bucket bounds and permutation-invariant sums, scraped
   into :class:`~repro.serve.server.ServeReport`;
+- :mod:`repro.obs.racecheck` — an Eraser-style lockset + vector-clock
+  dynamic race checker behind zero-cost-when-disabled hooks, the
+  runtime half of the concurrency analyzer
+  (:mod:`repro.analysis.concurrency`);
 - :mod:`repro.obs.export` — JSON-lines and Chrome ``trace_event``
   exporters (``python -m repro trace``, ``serve --trace out.json``);
 - :mod:`repro.obs.explain` — per-operator rows/virtual-time counting
@@ -20,7 +24,7 @@ This package imports nothing from the rest of the library, so every
 layer (db, lm, core, serve) can emit spans without import cycles.
 """
 
-from repro.obs import trace
+from repro.obs import racecheck, trace
 from repro.obs.explain import (
     AnalyzedQuery,
     OperatorCostModel,
@@ -37,6 +41,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.racecheck import RaceChecker, RaceFinding, RaceReport
 from repro.obs.trace import Span, SpanEvent, Tracer
 
 __all__ = [
@@ -48,9 +53,13 @@ __all__ = [
     "MetricsRegistry",
     "OperatorCostModel",
     "OperatorStats",
+    "RaceChecker",
+    "RaceFinding",
+    "RaceReport",
     "Span",
     "SpanEvent",
     "Tracer",
+    "racecheck",
     "emit_operator_spans",
     "instrument_plan",
     "render_stats",

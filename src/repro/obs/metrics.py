@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 import threading
 
+from repro.obs import racecheck
+
 #: Default histogram bounds, in virtual seconds (upper-inclusive edges).
 DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
 
@@ -30,62 +32,73 @@ DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
 class Counter:
     """A monotonically increasing event count."""
 
-    __slots__ = ("_lock", "_value")
+    __slots__ = ("_lock", "_name", "_value")
 
-    def __init__(self, lock: threading.Lock) -> None:
+    def __init__(self, lock: threading.Lock, name: str = "counter") -> None:
         self._lock = lock
+        self._name = name
         self._value = 0
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.write(f"metrics.{self._name}")
             self._value += amount
 
     @property
     def value(self) -> int:
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.read(f"metrics.{self._name}")
             return self._value
 
 
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("_lock", "_value")
+    __slots__ = ("_lock", "_name", "_value")
 
-    def __init__(self, lock: threading.Lock) -> None:
+    def __init__(self, lock: threading.Lock, name: str = "gauge") -> None:
         self._lock = lock
+        self._name = name
         self._value = 0.0
 
     def set(self, value: float) -> None:
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.write(f"metrics.{self._name}")
             self._value = float(value)
 
     @property
     def value(self) -> float:
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.read(f"metrics.{self._name}")
             return self._value
 
 
 class Histogram:
     """Observation distribution over fixed, deterministic bounds."""
 
-    __slots__ = ("_lock", "bounds", "_counts", "_observations")
+    __slots__ = ("_lock", "_name", "bounds", "_counts", "_observations")
 
     def __init__(
-        self, lock: threading.Lock, bounds: tuple[float, ...]
+        self,
+        lock: threading.Lock,
+        bounds: tuple[float, ...],
+        name: str = "histogram",
     ) -> None:
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError(
                 f"bounds must be a non-empty ascending tuple, got {bounds}"
             )
         self._lock = lock
+        self._name = name
         self.bounds = tuple(float(bound) for bound in bounds)
         self._counts = [0] * (len(self.bounds) + 1)
         self._observations: list[float] = []
 
     def observe(self, value: float) -> None:
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.write(f"metrics.{self._name}")
             self._observations.append(float(value))
             for position, bound in enumerate(self.bounds):
                 if value <= bound:
@@ -95,11 +108,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.read(f"metrics.{self._name}")
             return len(self._observations)
 
     def snapshot(self) -> dict[str, object]:
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.read(f"metrics.{self._name}")
             buckets = {
                 f"{bound:g}": count
                 for bound, count in zip(self.bounds, self._counts)
@@ -122,9 +137,11 @@ class MetricsRegistry:
         self._instruments: dict[str, tuple[str, object]] = {}
 
     def _get(self, name: str, kind: str, factory):
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.read("MetricsRegistry._instruments")
             entry = self._instruments.get(name)
             if entry is None:
+                racecheck.write("MetricsRegistry._instruments")
                 instrument = factory()
                 self._instruments[name] = (kind, instrument)
                 return instrument
@@ -137,16 +154,18 @@ class MetricsRegistry:
             return instrument
 
     def counter(self, name: str) -> Counter:
-        return self._get(name, "counter", lambda: Counter(self._lock))
+        return self._get(
+            name, "counter", lambda: Counter(self._lock, name)
+        )
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, "gauge", lambda: Gauge(self._lock))
+        return self._get(name, "gauge", lambda: Gauge(self._lock, name))
 
     def histogram(
         self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
     ) -> Histogram:
         return self._get(
-            name, "histogram", lambda: Histogram(self._lock, bounds)
+            name, "histogram", lambda: Histogram(self._lock, bounds, name)
         )
 
     def snapshot(self) -> dict[str, object]:
@@ -155,7 +174,8 @@ class MetricsRegistry:
         Deterministic for a deterministic workload: counts and gauge
         values are exact, histogram sums are permutation-invariant.
         """
-        with self._lock:
+        with racecheck.guard("MetricsRegistry._lock", self._lock):
+            racecheck.read("MetricsRegistry._instruments")
             names = sorted(self._instruments)
             entries = [(name, *self._instruments[name]) for name in names]
         scraped: dict[str, object] = {}

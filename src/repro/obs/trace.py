@@ -37,6 +37,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs import racecheck
+
 
 @dataclass
 class SpanEvent:
@@ -252,7 +254,8 @@ class Tracer:
         return _RequestContext(self, name, index)
 
     def _record(self, index: int, root: Span) -> None:
-        with self._lock:
+        with racecheck.guard("Tracer._lock", self._lock):
+            racecheck.write("Tracer._roots")
             self._roots.append((index, root))
 
     @property
@@ -263,9 +266,11 @@ class Tracer:
         stream — worker threads record completions in OS-schedule
         order, which must never leak into artifact bytes.
         """
-        with self._lock:
+        with racecheck.guard("Tracer._lock", self._lock):
+            racecheck.read("Tracer._roots")
             return sorted(self._roots, key=lambda pair: pair[0])
 
     def clear(self) -> None:
-        with self._lock:
+        with racecheck.guard("Tracer._lock", self._lock):
+            racecheck.write("Tracer._roots")
             self._roots = []

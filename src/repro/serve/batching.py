@@ -38,7 +38,7 @@ from dataclasses import dataclass, field, replace
 from repro.lm.model import LMConfig, LMResponse, SimulatedLM
 from repro.lm.tokenizer import count_tokens
 from repro.lm.usage import Usage
-from repro.obs import trace
+from repro.obs import racecheck, trace
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.cache import LRUCache
 from repro.serve.clock import VirtualClock
@@ -197,7 +197,8 @@ class BatchingLM:
         all workers up front prevents early workers from flushing
         batches that late-starting workers should have joined.
         """
-        with self._cv:
+        with racecheck.guard("BatchingLM._cv", self._cv):
+            racecheck.write("BatchingLM._sessions")
             if order is None:
                 order = self._next_order
             self._next_order = max(self._next_order, order + 1)
@@ -213,9 +214,10 @@ class BatchingLM:
         """Deregister; may complete the barrier and trigger a flush."""
         if getattr(self._local, "session", None) is session:
             self._local.session = None
-        with self._cv:
+        with racecheck.guard("BatchingLM._cv", self._cv):
             if not session.open:
                 return
+            racecheck.write("BatchingLM._sessions")
             session.open = False
             self._sessions.remove(session)
             self._flush_if_barrier()
@@ -240,7 +242,17 @@ class BatchingLM:
     def _submit_in_session(
         self, session: Session, requests: list[tuple[str, int | None]]
     ) -> list[_Pending]:
-        with self._cv:
+        with racecheck.guard("BatchingLM._cv", self._cv):
+            # Everything the scheduler mutates below — the pending
+            # queue, in-flight coalescing map, errored-retry ledger,
+            # prompt cache, usage meters, and this session's counters —
+            # is guarded by the one condition variable.
+            racecheck.write("BatchingLM._pending")
+            racecheck.write("BatchingLM._inflight")
+            racecheck.write("BatchingLM._errored")
+            racecheck.write("BatchingLM._cache")
+            racecheck.write("Usage.cache_meters")
+            racecheck.write(f"Session.{session.order}.meters")
             items: list[_Pending] = []
             for prompt, max_tokens in requests:
                 key = (prompt, max_tokens)
@@ -314,7 +326,13 @@ class BatchingLM:
                 session.waiting = True
                 self._flush_if_barrier()
                 while any(not item.done for item in items):
+                    # Condition.wait releases and re-acquires the cv
+                    # inside the library, invisible to the guard; these
+                    # hooks restore the release->acquire ordering edge
+                    # for the dynamic race checker.
+                    racecheck.releasing("BatchingLM._cv")
                     self._cv.wait()
+                    racecheck.reacquired("BatchingLM._cv")
             for item in items:
                 if item.response is not None:
                     session.consumed_seconds += item.response.latency_s
@@ -385,6 +403,7 @@ class BatchingLM:
         replayed individually so the requester sees exactly the error
         and accounting the unbatched path produces.
         """
+        racecheck.write("BatchingLM._pending")
         batch = sorted(
             self._pending, key=lambda it: (it.session.order, it.seq)
         )
@@ -443,6 +462,8 @@ class BatchingLM:
             item.error = exc
             item.done = True
             key = (item.prompt, item.max_tokens)
+            racecheck.write("BatchingLM._inflight")
+            racecheck.write("BatchingLM._errored")
             self._inflight.pop(key, None)
             # Each errored delivery (leader + followers) may come back
             # as a retry of work whose hit/miss was already metered.
@@ -459,8 +480,11 @@ class BatchingLM:
     def _finish(self, item: _Pending, response: LMResponse) -> None:
         item.response = response
         item.done = True
+        racecheck.write(f"Session.{item.session.order}.meters")
         item.session.lm_calls += 1
         if self._cache.capacity:
+            racecheck.write("BatchingLM._cache")
+            racecheck.write("BatchingLM._inflight")
             self._cache.put((item.prompt, item.max_tokens), response)
             self._inflight.pop((item.prompt, item.max_tokens), None)
         for follower in item.followers:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.obs import racecheck
+
 
 class VirtualClock:
     """Thread-safe monotone virtual time, in simulated seconds."""
@@ -25,13 +27,15 @@ class VirtualClock:
         self._lock = threading.Lock()
 
     def now(self) -> float:
-        with self._lock:
+        with racecheck.guard("VirtualClock._lock", self._lock):
+            racecheck.read("VirtualClock._now")
             return self._now
 
     def advance(self, seconds: float) -> float:
         """Move time forward; returns the new reading."""
         if seconds < 0:
             raise ValueError(f"cannot advance by {seconds} seconds")
-        with self._lock:
+        with racecheck.guard("VirtualClock._lock", self._lock):
+            racecheck.write("VirtualClock._now")
             self._now += seconds
             return self._now

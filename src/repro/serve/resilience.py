@@ -49,7 +49,7 @@ from repro.errors import (
 )
 from repro.lm.model import LMConfig, LMResponse
 from repro.lm.usage import Usage
-from repro.obs import trace
+from repro.obs import racecheck, trace
 from repro.serve.batching import Session
 from repro.serve.clock import VirtualClock
 
@@ -152,18 +152,21 @@ class CircuitBreaker:
 
     @property
     def state(self) -> str:
-        with self._lock:
+        with racecheck.guard("CircuitBreaker._lock", self._lock):
+            racecheck.write("CircuitBreaker.state")
             self._sync_locked()
             return self._state
 
     def allow(self) -> bool:
         """May a call proceed right now?  (Half-open allows the probe.)"""
-        with self._lock:
+        with racecheck.guard("CircuitBreaker._lock", self._lock):
+            racecheck.write("CircuitBreaker.state")
             self._sync_locked()
             return self._state != self.OPEN
 
     def cooldown_remaining(self) -> float:
-        with self._lock:
+        with racecheck.guard("CircuitBreaker._lock", self._lock):
+            racecheck.write("CircuitBreaker.state")
             self._sync_locked()
             if self._state != self.OPEN:
                 return 0.0
@@ -174,14 +177,16 @@ class CircuitBreaker:
             )
 
     def record_success(self) -> None:
-        with self._lock:
+        with racecheck.guard("CircuitBreaker._lock", self._lock):
+            racecheck.write("CircuitBreaker.state")
             self._sync_locked()
             self._state = self.CLOSED
             self._consecutive_failures = 0
 
     def record_failure(self) -> bool:
         """Count a transient failure; True iff this one tripped it open."""
-        with self._lock:
+        with racecheck.guard("CircuitBreaker._lock", self._lock):
+            racecheck.write("CircuitBreaker.state")
             self._sync_locked()
             if self._state == self.HALF_OPEN:
                 self._state = self.OPEN
@@ -345,14 +350,16 @@ class ResilientLM:
             spent += cost
             self._timeline.advance(cost)
             if self.breaker is not None and self.breaker.record_failure():
-                with self._meter_lock:
+                with racecheck.guard("serve.meter_lock", self._meter_lock):
+                    racecheck.write("Usage.resilience_meters")
                     self.usage.breaker_trips += 1
                 trace.event("breaker.trip")
             if attempt >= retry.max_attempts:
                 raise error
             backoff = retry.backoff_seconds(prompt, attempt)
             if deadline is not None and spent + backoff > deadline:
-                with self._meter_lock:
+                with racecheck.guard("serve.meter_lock", self._meter_lock):
+                    racecheck.write("Usage.resilience_meters")
                     self.usage.deadline_exceeded += 1
                 trace.event(
                     "deadline.exceeded", deadline=deadline, spent=spent
@@ -381,6 +388,12 @@ class ResilientLM:
         if self._clock is not None and self._clock is not self._timeline:
             self._clock.advance(seconds)
         if self._session is not None:
+            # Unlocked by design: only this session's own worker thread
+            # sleeps here, and the flushing thread's meter writes are
+            # ordered before this one by the cv wake-up the worker just
+            # went through — an edge the dynamic checker verifies.
+            racecheck.write(f"Session.{self._session.order}.meters")
             self._session.consumed_seconds += seconds
-        with self._meter_lock:
+        with racecheck.guard("serve.meter_lock", self._meter_lock):
+            racecheck.write("Usage.resilience_meters")
             self.usage.retries += 1

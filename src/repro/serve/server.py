@@ -35,6 +35,7 @@ from repro.core.tag import TAGError, TAGPipeline, TAGResult
 from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.model import SimulatedLM
 from repro.lm.usage import Usage
+from repro.obs import racecheck
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.serve.admission import AdmissionPolicy
@@ -261,9 +262,19 @@ class TagServer:
             for worker, indices in assignments
         ]
         for thread in threads:
+            # fork/join edges tell the dynamic race checker that worker
+            # state is ordered after this thread's setup and before its
+            # teardown reads below.  Thread *names* are the checker's
+            # identities — deterministic, unlike ids (DET106).
+            racecheck.fork(thread.name)
             thread.start()
         for thread in threads:
             thread.join()
+            racecheck.join(thread.name)
+        if racecheck.installed():
+            racecheck.read("serve.fatal")
+            for index in range(len(results)):
+                racecheck.read(f"serve.results.{index}")
         if fatal:
             raise fatal[0]
         final = [result for result in results if result is not None]
@@ -336,6 +347,7 @@ class TagServer:
                     )
                 except Exception as exc:  # noqa: BLE001 - fail requests, not the run
                     for index in indices:
+                        racecheck.write(f"serve.results.{index}")
                         results[index] = ServeResult(
                             index=index,
                             request=requests[index],
@@ -351,6 +363,11 @@ class TagServer:
                     return
                 tracer = self.tracer
                 for index in indices:
+                    # Unlocked read of this session's meters: safe
+                    # because writes from the flushing thread happen
+                    # under the cv this worker re-acquired on wake-up
+                    # (a release->acquire edge the checker verifies).
+                    racecheck.read(f"Session.{session.order}.meters")
                     seconds = session.consumed_seconds
                     calls = session.lm_calls
                     hits = session.cache_hits
@@ -371,6 +388,8 @@ class TagServer:
                             request=requests[index],
                             error=TAGError.from_exception(exc),
                         )
+                    racecheck.read(f"Session.{session.order}.meters")
+                    racecheck.write(f"serve.results.{index}")
                     results[index] = ServeResult(
                         index=index,
                         request=requests[index],
@@ -384,4 +403,5 @@ class TagServer:
             # The session context manager has already closed the
             # session (so no other worker deadlocks on the flush
             # barrier); record the failure for serve() to re-raise.
+            racecheck.write("serve.fatal")
             fatal.append(exc)

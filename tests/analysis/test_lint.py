@@ -130,6 +130,83 @@ class TestRules:
         assert _codes(findings) == ["DET105"]
         assert findings[0].line == 4  # the call inside tick()
 
+    def test_locked_helper_via_alias_flagged(self, tmp_path):
+        # The old name-only check missed aliased method references —
+        # the lockset-inference rewrite resolves them.
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            class Server:
+                def tick(self):
+                    drain = self._drain_locked
+                    drain()
+
+                def _drain_locked(self):
+                    pass
+            """,
+        )
+        findings = lint_file(path, tmp_path)
+        assert _codes(findings) == ["DET105"]
+        assert findings[0].line == 5  # the aliased call, not the bind
+
+    def test_locked_helper_via_class_dispatch_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            class Server:
+                def tick(self):
+                    self.__class__._drain_locked(self)
+
+                def _drain_locked(self):
+                    pass
+            """,
+        )
+        findings = lint_file(path, tmp_path)
+        assert _codes(findings) == ["DET105"]
+
+    def test_locked_helper_through_locked_caller_chain_ok(self, tmp_path):
+        # Interprocedural: a private helper whose only callers hold the
+        # lock is entered locked, so its *_locked call is in contract —
+        # the old syntactic check could not see through the hop.
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            class Server:
+                def tick(self):
+                    with self._lock:
+                        self._step()
+
+                def _step(self):
+                    self._drain_locked()
+
+                def _drain_locked(self):
+                    pass
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_locked_helper_guard_scope_counts(self, tmp_path):
+        # racecheck.guard wraps the lock; the scope still counts.
+        path = _write(
+            tmp_path,
+            "src/m.py",
+            """
+            from repro.obs import racecheck
+
+            class Server:
+                def tick(self):
+                    with racecheck.guard("Server._lock", self._lock):
+                        self._drain_locked()
+
+                def _drain_locked(self):
+                    pass
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
     def test_obs_identity_builtins_flagged(self, tmp_path):
         path = _write(
             tmp_path,

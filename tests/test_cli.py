@@ -206,6 +206,71 @@ class TestLintCommand:
         assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
         assert "no src/" in capsys.readouterr().err
 
+    def test_per_rule_summary(self, capsys, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "bad.py").write_text(
+            "def f(x=[], y={}):\n    try:\n        return x, y\n"
+            "    except:\n        return None\n"
+        )
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        output = capsys.readouterr().out
+        assert "per-rule: DET103 x1, DET104 x2" in output
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "bad.py").write_text(
+            "def f(x=[]):\n    return x\n"
+        )
+        assert (
+            main(["lint", "--root", str(tmp_path), "--format", "json"])
+            == 1
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["counts"] == {"DET104": 1}
+        assert document["findings"][0]["code"] == "DET104"
+        assert document["findings"][0]["path"] == "src/bad.py"
+
+
+class TestLintConcCommand:
+    def test_repository_is_conc_clean(self, capsys):
+        assert main(["lint", "--conc"]) == 0
+        output = capsys.readouterr().out
+        assert "concurrency: ok" in output
+        assert "worker-shared surface" in output
+
+    def test_findings_exit_nonzero(self, capsys, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "racy.py").write_text(
+            "class Shared:\n    registry = {}\n"
+        )
+        assert main(["lint", "--conc", "--root", str(tmp_path)]) == 1
+        output = capsys.readouterr().out
+        assert "CONC207" in output
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "racy.py").write_text(
+            "class Shared:\n    registry = {}\n"
+        )
+        assert (
+            main(
+                [
+                    "lint", "--conc",
+                    "--root", str(tmp_path),
+                    "--format", "json",
+                ]
+            )
+            == 1
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert [f["code"] for f in document["findings"]] == ["CONC207"]
+
 
 class TestTraceCommand:
     def test_writes_chrome_trace(self, tmp_path, capsys):
