@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-optimizer test-repair test-conc bench bench-smoke lint lint-conc analyze-smoke trace-smoke verify
+.PHONY: test test-optimizer test-repair test-conc test-semcache bench bench-smoke lint lint-conc analyze-smoke trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,11 +18,17 @@ test-repair:
 	$(PYTHON) -m pytest tests/core/test_repair.py tests/serve/test_repair_determinism.py tests/lm/test_repair_handler.py tests/db/test_max_rows.py -q
 	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_repair.py -q
 
+# The semantic-cache suites on their own: canonicalizer properties,
+# cache/registry unit tests (including both retrieval-path regression
+# suites), and the serve-integration equivalence/invariance tests.
+test-semcache:
+	$(PYTHON) -m pytest tests/serve/test_semantic.py tests/serve/test_semantic_serve.py tests/embed/test_hashing.py tests/vector/test_indexes.py -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_repair.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py benchmarks/bench_racecheck.py -q
+	REPRO_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_resilience.py benchmarks/bench_repair.py benchmarks/bench_trace_overhead.py benchmarks/bench_udf_batching.py benchmarks/bench_optimizer.py benchmarks/bench_racecheck.py benchmarks/bench_semcache.py -q
 
 # The concurrency suites on their own: static-analyzer golden rules
 # and lockset properties, dynamic checker unit tests, and the serve
@@ -58,9 +64,10 @@ trace-smoke:
 	@rm -f benchmarks/out/trace-w1.json benchmarks/out/trace-w3.json
 	@echo "trace-smoke: byte-identical across worker counts"
 
-# The pre-merge gate: full tier-1 suite, a smoke-mode pass of the
-# resilience, repair, trace-overhead, and race-check benchmarks, clean
+# The pre-merge gate: full tier-1 suite, the concurrency and
+# semantic-cache suites, a smoke-mode pass of the resilience, repair,
+# trace-overhead, race-check, and semantic-cache benchmarks, clean
 # determinism-lint and concurrency baselines, an analyzer round-trip
 # through the CLI, and the trace worker-invariance smoke.
-verify: test test-conc bench-smoke lint lint-conc analyze-smoke trace-smoke
+verify: test test-conc test-semcache bench-smoke lint lint-conc analyze-smoke trace-smoke
 	@echo "verify: OK"

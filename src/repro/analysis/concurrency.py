@@ -21,7 +21,8 @@ an interprocedural ``ast`` pass over ``src/repro/`` that
 (c) identifies classes whose instances **cross the worker boundary**:
     the transitive construction/annotation closure from
     :data:`SHARED_ROOTS` (``TagServer``, ``BatchingLM``, ``Database``,
-    ``UDFMemoCache``, ``MetricsRegistry``, ``Tracer``).
+    ``UDFMemoCache``, ``MetricsRegistry``, ``Tracer``,
+    ``SemanticResultCache``, ``QueryRegistry``).
 
 The rule taxonomy (codes are stable API, tests pin them):
 
@@ -86,6 +87,8 @@ SHARED_ROOTS = (
     "UDFMemoCache",
     "MetricsRegistry",
     "Tracer",
+    "SemanticResultCache",
+    "QueryRegistry",
 )
 
 #: Method names that mutate their receiver in place.

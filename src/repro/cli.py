@@ -152,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
             "per-row in written predicate order)"
         ),
     )
+    serve.add_argument(
+        "--semantic-cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "semantic result-cache capacity (0 disables): requests "
+            "whose canonical form matches an accepted answer are "
+            "served without dispatching a pipeline, and the demo "
+            "stream becomes duplicate-heavy so hits are visible"
+        ),
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -388,6 +400,13 @@ def _command_serve(args) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    semantic_cache = None
+    registry = None
+    if args.semantic_cache > 0:
+        from repro.serve import QueryRegistry, SemanticResultCache
+
+        semantic_cache = SemanticResultCache(capacity=args.semantic_cache)
+        registry = QueryRegistry()
     server = TagServer(
         factory,
         SimulatedLM(LMConfig(seed=args.seed)),
@@ -397,12 +416,23 @@ def _command_serve(args) -> int:
         resilience=resilience,
         admission=admission,
         tracer=tracer,
+        semantic_cache=semantic_cache,
+        registry=registry,
+    )
+    # With the semantic cache on, fold the stream onto a few distinct
+    # questions: real traffic repeats itself, and the duplicates are
+    # what the cache coalesces.
+    distinct = (
+        max(1, args.requests // 3)
+        if semantic_cache is not None
+        else args.requests
     )
     requests = [
         (
             f"Classify the mood of every review (deep scan #{index})"
             if args.admit_budget is not None and index % 4 == 3
-            else f"Summarize the reviews of the top romance movie (#{index})"
+            else "Summarize the reviews of the top romance movie "
+            f"(#{index % distinct})"
         )
         for index in range(args.requests)
     ]
@@ -437,6 +467,13 @@ def _command_serve(args) -> int:
         )
     if admission is not None:
         print(f"  admission-rej    {report.admission_rejected:8d}")
+    if semantic_cache is not None:
+        print(
+            f"  semcache h/n/m   {usage.semcache_hits:8d} / "
+            f"{usage.semcache_near_hits} / {usage.semcache_misses}"
+        )
+        print(f"  semcache entries {len(semantic_cache):8d}")
+        print(f"  registry entries {len(registry):8d}")
     if tracer is not None:
         from repro.obs import write_trace
 

@@ -25,7 +25,20 @@ def _bucket(feature: str, dimensions: int) -> tuple[int, float]:
 
 
 class HashingEmbedder:
-    """Hashes word unigrams and character trigrams into a dense vector."""
+    """Hashes word unigrams and character trigrams into a dense vector.
+
+    Degenerate-text contract.  A text that contributes *no* features
+    (empty, or punctuation-only/stopword-only with trigrams disabled)
+    used to embed as the all-zero vector, which makes cosine similarity
+    against it ill-defined: depending on the caller's convention a zero
+    key "matches" nothing or everything.  Every embedding is now
+    unit-norm: degenerate texts all map to one reserved *sentinel
+    bucket*, so they are mutually identical (cosine 1.0 against each
+    other) and near-orthogonal to real content — a well-defined point,
+    never an ill-defined one.  Callers that must not conflate distinct
+    degenerate texts (the semantic serving cache) should test
+    :meth:`is_degenerate` and refuse to key on such texts at all.
+    """
 
     def __init__(
         self, dimensions: int = 256, use_trigrams: bool = True
@@ -35,8 +48,20 @@ class HashingEmbedder:
         self.dimensions = dimensions
         self.use_trigrams = use_trigrams
 
+    def is_degenerate(self, text: str) -> bool:
+        """True when ``text`` yields no hashed features.
+
+        Such a text embeds as the shared sentinel-bucket vector (see the
+        class docstring), so all degenerate texts are indistinguishable
+        in cosine space; similarity-keyed callers should treat them as
+        uncacheable rather than rely on their embedding.
+        """
+        if tokens(text):
+            return False
+        return not (self.use_trigrams and len(text) >= 1)
+
     def embed(self, text: str) -> np.ndarray:
-        """Unit-norm embedding of one text."""
+        """Unit-norm embedding of one text (sentinel for degenerate)."""
         vector = np.zeros(self.dimensions, dtype=np.float64)
         words = tokens(text)
         for word in words:
@@ -50,7 +75,9 @@ class HashingEmbedder:
                 vector[index] += 0.4 * sign
         norm = np.linalg.norm(vector)
         if norm > 0:
-            vector /= norm
+            return vector / norm
+        index, sign = _bucket("degenerate:", self.dimensions)
+        vector[index] = sign
         return vector
 
     def embed_batch(self, texts: Sequence[str]) -> np.ndarray:

@@ -55,6 +55,21 @@ class Usage:
     fault-free run's accounting is bit-identical with or without the
     resilience stack.
 
+    The semantic-cache counters are metered by the serving control
+    plane (:class:`repro.serve.semantic.SemanticResultCache`):
+    ``semcache_hits`` counts requests served a stored ``TAGResult`` on
+    an exact canonical-form match (in-run duplicate coalescing
+    included), ``semcache_near_hits`` those served on an
+    above-threshold embedding match, ``semcache_misses`` lookups that
+    found nothing (the disabled-cache path meters exactly one miss per
+    lookup, in one place — see the cache's metering seam), and
+    ``semcache_invalidations`` entries evicted by an explicit
+    data/catalog-change invalidation.  A semantic hit dispatches no
+    pipeline, so it touches no call/token/latency counter — like the
+    prompt cache, cached work is never double-metered.  All stay zero
+    without a semantic cache, so an uncached run's accounting is
+    bit-identical with or without the control plane.
+
     The repair counters are metered by the self-correcting pipeline
     (:class:`repro.core.repair.SelfCorrectingPipeline`):
     ``repair_attempts`` counts repair prompts issued (one per retry of
@@ -89,6 +104,10 @@ class Usage:
     repair_successes: int = 0
     repair_exhausted: int = 0
     rows_truncated: int = 0
+    semcache_hits: int = 0
+    semcache_misses: int = 0
+    semcache_near_hits: int = 0
+    semcache_invalidations: int = 0
 
     def snapshot(self) -> "Usage":
         return Usage(

@@ -25,6 +25,14 @@ from repro.serve.resilience import (
     ResilientLM,
     RetryPolicy,
 )
+from repro.serve.semantic import (
+    CanonicalForm,
+    QueryRegistry,
+    RegistryEntry,
+    SemanticHit,
+    SemanticResultCache,
+    canonicalize,
+)
 from repro.serve.server import (
     PipelineFactory,
     ServeReport,
@@ -37,16 +45,22 @@ __all__ = [
     "AdmissionPolicy",
     "BatchingLM",
     "BreakerPolicy",
+    "CanonicalForm",
     "CircuitBreaker",
     "LRUCache",
     "PipelineFactory",
+    "QueryRegistry",
+    "RegistryEntry",
     "ResiliencePolicy",
     "ResilientLM",
     "RetryPolicy",
     "SQLAdmissionEstimator",
+    "SemanticHit",
+    "SemanticResultCache",
     "ServeReport",
     "ServeResult",
     "Session",
     "TagServer",
     "VirtualClock",
+    "canonicalize",
 ]

@@ -83,7 +83,20 @@ class AdmissionPolicy:
     #: repair loop) reproduces one-shot pricing exactly.
     repair_budget: int = 0
 
-    def decide(self, request: str) -> AdmissionDecision:
+    def decide(
+        self, request: str, cached: bool = False
+    ) -> AdmissionDecision:
+        """Admit or reject one request against the LM-cost budget.
+
+        ``cached=True`` marks a request the semantic serving cache can
+        answer (:mod:`repro.serve.semantic`): it will dispatch no
+        pipeline and so costs zero LM calls and zero tokens — a price
+        within every budget, so it is admitted without consulting the
+        estimator (whose one-shot cost estimate would price work that
+        will never run).
+        """
+        if cached:
+            return AdmissionDecision(admit=True)
         report = self.estimator(request)
         if report is None:
             return AdmissionDecision(admit=True)

@@ -18,7 +18,12 @@ class LRUCache:
     """Least-recently-used cache with a fixed capacity.
 
     ``capacity == 0`` disables the cache entirely: every ``get`` misses
-    and ``put`` is a no-op, so callers need no special-casing.
+    and ``put`` is a no-op, so callers need no special-casing.  The
+    cache itself never meters: a caller that counts hits/misses must do
+    so at exactly one seam (its own lookup path) — metering a miss at
+    ``get`` *and* a drop at ``put`` double-counts every disabled-cache
+    round trip (see :class:`repro.serve.semantic.SemanticResultCache`
+    for the audited pattern and its counter test).
 
     Peek vs. promote.  Only :meth:`get` counts as a *use*: it promotes
     the entry to most-recently-used.  :meth:`peek` and ``key in cache``
@@ -51,14 +56,36 @@ class LRUCache:
         """Membership test; a peek — never promotes (see class docs)."""
         return key in self._entries
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(
+        self, key: Hashable, value: Any
+    ) -> list[tuple[Hashable, Any]]:
+        """Insert/overwrite; returns the ``(key, value)`` pairs evicted.
+
+        Overwriting an existing key counts as a use (the entry becomes
+        most-recently-used) — assigning into an ``OrderedDict`` already
+        leaves an existing key's position unchanged, so the promotion
+        is the single ``move_to_end`` below, not a redundant pre-pass.
+        Callers that mirror entries in a secondary structure (e.g. a
+        vector index mapping rows to keys) use the returned evictions
+        to tombstone their side; everyone else ignores the return.
+        """
         if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
+            return []
         self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted: list[tuple[Hashable, Any]] = []
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted.append(self._entries.popitem(last=False))
+        return evicted
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return an entry (``default`` when absent)."""
+        value = self._entries.pop(key, _MISSING)
+        return default if value is _MISSING else value
+
+    def keys(self) -> list[Hashable]:
+        """Current keys, least-recently-used first (a snapshot copy)."""
+        return list(self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)

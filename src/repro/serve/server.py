@@ -35,13 +35,19 @@ from repro.core.tag import TAGError, TAGPipeline, TAGResult
 from repro.lm.faults import FaultPlan, FaultyLM
 from repro.lm.model import SimulatedLM
 from repro.lm.usage import Usage
-from repro.obs import racecheck
+from repro.obs import racecheck, trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.batching import BatchingLM, Session
 from repro.serve.clock import VirtualClock
 from repro.serve.resilience import ResiliencePolicy, ResilientLM
+from repro.serve.semantic import (
+    QueryRegistry,
+    SemanticHit,
+    SemanticResultCache,
+    detached_copy,
+)
 
 #: Builds one pipeline per worker, bound to the server's batching LM
 #: (or its resilience wrapper).  Anything with ``run(request) ->
@@ -62,6 +68,11 @@ class ServeResult:
     worker: int
     lm_calls: int
     cache_hits: int
+    #: How the semantic serving cache answered this request, when it
+    #: did: ``"exact"``/``"near"`` (cross-run cache hit, ``worker ==
+    #: -2``) or ``"coalesced"`` (in-run duplicate resolved from its
+    #: leader's result).  None for every freshly executed request.
+    semantic: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -87,6 +98,9 @@ class ServeReport:
     #: Requests admission control turned away before dispatch (they
     #: still appear in ``results``, with ``worker == -1``).
     admission_rejected: int = 0
+    #: Entries the semantic cache held when the run began (0 without a
+    #: cache) — the state hits of this run were served from.
+    semantic_entries: int = 0
     #: Scraped :class:`~repro.obs.metrics.MetricsRegistry` snapshot for
     #: the run (empty when the server was built without a registry).
     metrics: dict = field(default_factory=dict)
@@ -144,6 +158,12 @@ class ServeReport:
         rank = -(-permyriad * len(ordered) // 10_000) - 1
         return ordered[max(0, min(rank, len(ordered) - 1))]
 
+    @property
+    def semantic_hits(self) -> int:
+        """Requests served without dispatch by the semantic cache
+        (exact + near + in-run coalesced)."""
+        return sum(r.semantic is not None for r in self.results)
+
     def answers(self) -> list[object]:
         return [r.result.answer for r in self.results]
 
@@ -163,6 +183,8 @@ class TagServer:
         admission: AdmissionPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        semantic_cache: SemanticResultCache | None = None,
+        registry: QueryRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -178,6 +200,17 @@ class TagServer:
         self.admission = admission
         self.tracer = tracer
         self.metrics = metrics
+        self.semantic_cache = semantic_cache
+        self.registry = registry
+        if semantic_cache is not None:
+            # Bind the cache's meters to this server's sinks unless the
+            # caller wired its own: semcache_* counters then land in
+            # the same Usage delta and metrics scrape as everything
+            # else the run metered (one meter, three sinks).
+            if semantic_cache.usage is None:
+                semantic_cache.usage = self._inner.usage
+            if semantic_cache.metrics is None:
+                semantic_cache.metrics = metrics
 
     def serve(self, requests: list[str]) -> ServeReport:
         """Run every request; never raises for a single request's failure.
@@ -206,30 +239,58 @@ class TagServer:
         meter_lock = threading.Lock()
         before = self._inner.usage.snapshot()
         results: list[ServeResult | None] = [None] * len(requests)
-        # Admission runs sequentially on this thread, before workers
-        # exist: the accept/reject set is a pure function of the
-        # request stream and the budget, never of the worker count.
-        admitted = list(range(len(requests)))
+        # Semantic lookups and admission both run sequentially on this
+        # thread, before workers exist: the hit/miss/coalesce/reject
+        # partition of the stream is a pure function of the request
+        # list, the cache state, and the budget — never of the worker
+        # count.  Lookups come first: a hit dispatches no pipeline, so
+        # admission prices it at zero (``decide(..., cached=True)``)
+        # instead of the estimator's one-shot cost.
+        semantic = self.semantic_cache
+        catalog_version = (
+            semantic.current_version() if semantic is not None else None
+        )
+        semantic_entries = len(semantic) if semantic is not None else 0
+        #: canonical key -> index of the in-flight leader for that key.
+        pending: dict[tuple, int] = {}
+        #: follower index -> leader index, resolved after the join.
+        followers: dict[int, int] = {}
+        admitted: list[int] = []
         rejected = 0
-        if self.admission is not None:
-            admitted = []
-            for index, request in enumerate(requests):
-                decision = self.admission.decide(request)
-                if decision.admit:
-                    admitted.append(index)
+        for index, request in enumerate(requests):
+            if semantic is not None:
+                key = semantic.key_for(request, catalog_version)
+                if key is not None and key in pending:
+                    # In-run duplicate: its twin is already dispatched;
+                    # resolve from the leader's result after the join.
+                    semantic.meter_coalesced()
+                    followers[index] = pending[key]
                     continue
-                rejected += 1
-                results[index] = ServeResult(
-                    index=index,
-                    request=request,
-                    result=TAGResult(
-                        request=request, error=decision.to_error()
-                    ),
-                    et_seconds=0.0,
-                    worker=-1,
-                    lm_calls=0,
-                    cache_hits=0,
-                )
+                hit = semantic.lookup(request, catalog_version)
+                if hit is not None:
+                    if self.admission is not None:
+                        self.admission.decide(request, cached=True)
+                    results[index] = self._hit_result(index, request, hit)
+                    continue
+                if key is not None:
+                    pending[key] = index
+            if self.admission is not None:
+                decision = self.admission.decide(request)
+                if not decision.admit:
+                    rejected += 1
+                    results[index] = ServeResult(
+                        index=index,
+                        request=request,
+                        result=TAGResult(
+                            request=request, error=decision.to_error()
+                        ),
+                        et_seconds=0.0,
+                        worker=-1,
+                        lm_calls=0,
+                        cache_hits=0,
+                    )
+                    continue
+            admitted.append(index)
         # Round-robin over the *admitted* stream: worker i serves the
         # i-th, (i+W)-th, ... admitted requests.
         assignments = [
@@ -277,6 +338,39 @@ class TagServer:
                 racecheck.read(f"serve.results.{index}")
         if fatal:
             raise fatal[0]
+        # Followers resolve from their leader's result now that the
+        # join ordered every worker write before this thread (the same
+        # single-owner handoff the racecheck reads above verify).
+        for index in sorted(followers):
+            leader = results[followers[index]]
+            racecheck.write(f"serve.results.{index}")
+            results[index] = ServeResult(
+                index=index,
+                request=requests[index],
+                result=detached_copy(leader.result, requests[index]),
+                et_seconds=0.0,
+                worker=-2,
+                lm_calls=0,
+                cache_hits=0,
+                semantic="coalesced",
+            )
+        # Stores and registry records run sequentially in index order:
+        # cache and registry contents after a run are a pure function
+        # of the request stream, whatever the worker count.
+        for index in admitted:
+            served = results[index]
+            if served is None:
+                continue
+            if semantic is not None:
+                semantic.store(
+                    requests[index], served.result, catalog_version
+                )
+            if self.registry is not None and served.ok:
+                outcome = served.result
+                if isinstance(outcome.query, str) and not outcome.degraded:
+                    self.registry.record(
+                        requests[index], outcome.query, outcome="ok"
+                    )
         final = [result for result in results if result is not None]
         if self.metrics is not None:
             registry = self.metrics
@@ -298,9 +392,44 @@ class TagServer:
             workers=self.workers,
             window=self.window,
             admission_rejected=rejected,
+            semantic_entries=semantic_entries,
             metrics=(
                 self.metrics.snapshot() if self.metrics is not None else {}
             ),
+        )
+
+    def _hit_result(
+        self, index: int, request: str, hit: SemanticHit
+    ) -> ServeResult:
+        """The served result for one semantic-cache hit.
+
+        Built on the serve thread before workers exist.  The hit costs
+        zero simulated seconds and zero LM calls; its trace (when
+        tracing) is a root span holding one ``semcache.lookup`` leaf on
+        the request's own virtual timeline — worker-count invariant
+        like every other trace.
+        """
+        outcome = hit.result
+        if self.tracer is not None:
+            with self.tracer.request(request, index) as root:
+                trace.leaf(
+                    "semcache.lookup",
+                    0.0,
+                    outcome="hit",
+                    via=hit.via,
+                    similarity=round(hit.similarity, 9),
+                    source=hit.source_request,
+                )
+            outcome.trace = root
+        return ServeResult(
+            index=index,
+            request=request,
+            result=outcome,
+            et_seconds=0.0,
+            worker=-2,
+            lm_calls=0,
+            cache_hits=0,
+            semantic=hit.via,
         )
 
     def _worker_lm(
@@ -379,6 +508,15 @@ class TagServer:
                     try:
                         if request_scope is not None:
                             with request_scope as root:
+                                if self.semantic_cache is not None:
+                                    # Mirror of the hit leaf the serve
+                                    # thread emits: every traced
+                                    # request shows its lookup.
+                                    trace.leaf(
+                                        "semcache.lookup",
+                                        0.0,
+                                        outcome="miss",
+                                    )
                                 outcome = pipeline.run(requests[index])
                                 outcome.trace = root
                         else:

@@ -44,7 +44,15 @@ class IVFIndex:
         return self._centroids is not None
 
     def train(self, vectors: np.ndarray) -> None:
-        """Fit cluster centroids with seeded k-means."""
+        """Fit cluster centroids with seeded k-means.
+
+        Retraining an index that already holds vectors reassigns every
+        stored vector to the new centroids, so no stored row becomes
+        unreachable: ``len(index)`` and the probe-reachable set stay in
+        agreement (previously retraining cleared the inverted lists but
+        kept the vectors, stranding them where no probe could return
+        them).
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
         if vectors.shape[0] < self.n_clusters:
             raise ReproError(
@@ -65,6 +73,13 @@ class IVFIndex:
                     centroids[cluster] = members.mean(axis=0)
         self._centroids = centroids
         self._lists = [[] for _ in range(self.n_clusters)]
+        if len(self):
+            stored = np.argmin(
+                _pairwise_sq_distances(self._vectors, centroids), axis=1
+            ).astype(np.int64)
+            self._assignments = stored
+            for row, label in enumerate(stored):
+                self._lists[int(label)].append(row)
 
     def add(self, vectors: np.ndarray) -> None:
         if not self.is_trained:

@@ -16,9 +16,6 @@ class TestEmbedder:
         vector = embedder.embed("hello world of data")
         assert np.linalg.norm(vector) == pytest.approx(1.0)
 
-    def test_empty_text_is_zero_vector(self, embedder):
-        assert np.linalg.norm(embedder.embed("")) == 0.0
-
     def test_deterministic(self, embedder):
         a = embedder.embed("gradient descent")
         b = embedder.embed("gradient descent")
@@ -45,6 +42,61 @@ class TestEmbedder:
         plain = HashingEmbedder(dimensions=64, use_trigrams=False)
         vector = plain.embed("abc")
         assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+class TestDegenerateTextContract:
+    """Regression tests for the all-zero-embedding bug.
+
+    ``embed`` used to return the zero vector for texts contributing no
+    features, making cosine similarity against them ill-defined (inner
+    product 0 against everything).  The contract now: every embedding
+    is unit-norm; feature-less texts share one sentinel bucket; callers
+    that must not conflate degenerate texts ask :meth:`is_degenerate`.
+    """
+
+    def test_empty_text_embeds_unit_norm(self, embedder):
+        # Pre-fix this was the zero vector (norm 0.0).
+        assert np.linalg.norm(embedder.embed("")) == pytest.approx(1.0)
+
+    def test_featureless_text_embeds_unit_norm(self):
+        plain = HashingEmbedder(dimensions=64, use_trigrams=False)
+        for text in ["", "?!...", "   "]:
+            assert np.linalg.norm(plain.embed(text)) == pytest.approx(
+                1.0
+            ), repr(text)
+
+    def test_degenerate_texts_share_the_sentinel(self):
+        plain = HashingEmbedder(dimensions=64, use_trigrams=False)
+        empty = plain.embed("")
+        punct = plain.embed("?!")
+        assert np.array_equal(empty, punct)
+
+    def test_sentinel_near_orthogonal_to_content(self, embedder):
+        sentinel = embedder.embed("")
+        content = embedder.embed("top romance movies by revenue")
+        assert abs(float(sentinel @ content)) < 0.5
+
+    def test_is_degenerate(self):
+        plain = HashingEmbedder(dimensions=64, use_trigrams=False)
+        assert plain.is_degenerate("")
+        assert plain.is_degenerate("?!...")
+        assert not plain.is_degenerate("movies")
+        # With trigrams on, any non-empty text contributes features.
+        tri = HashingEmbedder(dimensions=64, use_trigrams=True)
+        assert tri.is_degenerate("")
+        assert not tri.is_degenerate("?!")
+
+    def test_empty_text_no_longer_matches_nothing(self):
+        """The observable bug: a zero query vector scored 0 against
+        every index entry, so ``search`` ranked arbitrarily."""
+        plain = HashingEmbedder(dimensions=64, use_trigrams=False)
+        query = plain.embed("")
+        stored = plain.embed_batch(["", "alpha beta", "gamma delta"])
+        scores = stored @ query
+        # The degenerate entry now outranks real content for a
+        # degenerate query instead of tying everything at 0.
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[0] > max(abs(scores[1]), abs(scores[2]))
 
 
 class TestSerializeRow:

@@ -1,0 +1,430 @@
+"""TagServer + semantic cache integration: equivalence, invariance,
+admission pricing, tracing, race-cleanliness, registry few-shot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FixedQuerySynthesizer,
+    LMQuerySynthesizer,
+    NoGenerator,
+    SQLExecutor,
+    SingleCallGenerator,
+    TAGPipeline,
+)
+from repro.data import movies
+from repro.lm import LMConfig, SimulatedLM
+from repro.obs import racecheck
+from repro.obs.racecheck import RaceChecker
+from repro.obs.trace import Tracer
+from repro.serve import (
+    AdmissionPolicy,
+    QueryRegistry,
+    SemanticResultCache,
+    SQLAdmissionEstimator,
+    TagServer,
+)
+
+ROMANCE_SQL = (
+    "SELECT movie_title, review FROM movies "
+    "WHERE genre = 'Romance' ORDER BY revenue DESC LIMIT 1"
+)
+
+
+@pytest.fixture(scope="module")
+def movie_dataset():
+    return movies.build()
+
+
+def romance_factory(dataset):
+    def factory(lm) -> TAGPipeline:
+        return TAGPipeline(
+            FixedQuerySynthesizer(ROMANCE_SQL),
+            SQLExecutor(dataset.db),
+            SingleCallGenerator(lm, aggregation=True),
+        )
+
+    return factory
+
+
+def distinct_requests(count: int) -> list[str]:
+    return [
+        f"Summarize the reviews of the top romance movie (#{index})"
+        for index in range(count)
+    ]
+
+
+def _server(dataset, workers=4, cache=None, **kwargs) -> TagServer:
+    return TagServer(
+        romance_factory(dataset),
+        SimulatedLM(LMConfig(seed=0)),
+        workers=workers,
+        window=max(2, workers),
+        semantic_cache=cache,
+        **kwargs,
+    )
+
+
+def _strip_traces(report):
+    return [
+        (r.index, r.request, r.result, r.worker, r.semantic)
+        for r in report.results
+    ]
+
+
+class TestHitEqualsFreshExecution:
+    def test_cached_answers_byte_identical_to_fresh(self, movie_dataset):
+        """The acceptance property: every semantic hit returns a
+        TAGResult equal to what fresh execution would produce."""
+        requests = distinct_requests(6)
+        cache = SemanticResultCache(capacity=64)
+        warm_server = _server(movie_dataset, cache=cache)
+        fresh = warm_server.serve(requests)
+        assert all(r.semantic is None for r in fresh.results)
+        cached = warm_server.serve(requests)
+        assert [r.semantic for r in cached.results] == ["exact"] * 6
+        # TAGResult equality covers query, table, answer, error,
+        # method, degraded, fallbacks (trace is excluded by design).
+        assert [r.result for r in cached.results] == [
+            r.result for r in fresh.results
+        ]
+        cold = _server(movie_dataset).serve(requests)
+        assert [r.result for r in cached.results] == [
+            r.result for r in cold.results
+        ]
+
+    def test_all_hit_run_costs_zero_lm(self, movie_dataset):
+        cache = SemanticResultCache(capacity=64)
+        server = _server(movie_dataset, cache=cache)
+        server.serve(distinct_requests(4))
+        report = server.serve(distinct_requests(4))
+        assert report.simulated_seconds == 0.0
+        assert report.usage.calls == 0
+        assert report.usage.prompt_tokens == 0
+        assert report.usage.output_tokens == 0
+        assert report.usage.semcache_hits == 4
+        assert all(r.et_seconds == 0.0 for r in report.results)
+        assert all(r.worker == -2 for r in report.results)
+
+    def test_in_run_duplicates_coalesce_onto_leader(self, movie_dataset):
+        cache = SemanticResultCache(capacity=64)
+        server = _server(movie_dataset, cache=cache)
+        requests = [
+            "Summarize the reviews of the top romance movie",
+            "summarize the review of the top romance movies!",
+            "Summarize the reviews of the top romance movie (#1)",
+            "Summarize the reviews of the top romance movie",
+        ]
+        report = server.serve(requests)
+        assert [r.semantic for r in report.results] == [
+            None,
+            "coalesced",
+            None,
+            "coalesced",
+        ]
+        leader = report.results[0].result
+        assert report.results[1].result.answer == leader.answer
+        assert report.results[3].result.answer == leader.answer
+        # Followers keep their own request text.
+        assert report.results[1].result.request == requests[1]
+        assert report.usage.semcache_hits == 2
+        assert report.semantic_hits == 2
+
+    def test_invalidation_restores_fresh_execution(self, movie_dataset):
+        cache = SemanticResultCache(capacity=64)
+        server = _server(movie_dataset, cache=cache)
+        requests = distinct_requests(3)
+        first = server.serve(requests)
+        cache.invalidate()
+        assert cache.usage.semcache_invalidations == 3
+        third = server.serve(requests)
+        assert all(r.semantic is None for r in third.results)
+        assert third.answers() == first.answers()
+
+
+class TestWorkerCountInvariance:
+    REQUESTS = [
+        "Summarize the reviews of the top romance movie",
+        "Summarize the reviews of the top romance movie (#1)",
+        "summarize the reviews of the top romance movies",
+        "Summarize the reviews of the top romance movie (#2)",
+        "Summarize the reviews of the top romance movie (#1)!",
+        "Summarize the reviews of the top romance movie (#3)",
+    ]
+
+    @pytest.mark.parametrize("workers", [1, 4, 8])
+    def test_replay_byte_identical_with_cache_on(
+        self, movie_dataset, workers
+    ):
+        """Serving the same stream twice from a cold start replays
+        byte-identically at workers 1/4/8 with the cache on — timings,
+        worker assignment, usage, cache state, everything."""
+
+        def run():
+            cache = SemanticResultCache(capacity=64)
+            server = _server(movie_dataset, workers=workers, cache=cache)
+            warm = server.serve(self.REQUESTS)
+            hot = server.serve(self.REQUESTS)
+            return (
+                [
+                    (r.index, r.request, r.result, r.worker,
+                     r.semantic, r.et_seconds)
+                    for report in (warm, hot)
+                    for r in report.results
+                ],
+                warm.usage,
+                hot.usage,
+                warm.simulated_seconds,
+                hot.simulated_seconds,
+                cache.stats(),
+            )
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("workers", [4, 8])
+    def test_outcomes_invariant_across_worker_counts(
+        self, movie_dataset, workers
+    ):
+        """Per-request timings shift with micro-batch composition, but
+        the TAG outcomes, the hit/miss/coalesce partition, the cache
+        state, and the entire all-hit replay are worker-count pure."""
+
+        def run(n):
+            cache = SemanticResultCache(capacity=64)
+            server = _server(movie_dataset, workers=n, cache=cache)
+            warm = server.serve(self.REQUESTS)
+            hot = server.serve(self.REQUESTS)
+            return (
+                [(r.index, r.result, r.semantic) for r in warm.results],
+                _strip_traces(hot),
+                hot.usage,
+                hot.simulated_seconds,
+                cache.stats(),
+            )
+
+        assert run(workers) == run(1)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_cache_state_pure_function_of_stream(
+        self, movie_dataset, workers
+    ):
+        cache = SemanticResultCache(capacity=64)
+        server = _server(movie_dataset, workers=workers, cache=cache)
+        server.serve(distinct_requests(5))
+        assert len(cache) == 5
+        assert cache.stats() == {
+            "entries": 5,
+            "index_rows": 5,
+            "tombstones": 0,
+        }
+
+
+class TestAdmissionPricesHitsAtZero:
+    def _admission(self, db, budget):
+        deep_sql = "SELECT movie_title, MOOD(review) FROM movies"
+
+        def query_for(request):
+            return deep_sql if "deep" in request else ROMANCE_SQL
+
+        return AdmissionPolicy(
+            estimator=SQLAdmissionEstimator(db, query_for),
+            max_lm_calls=budget,
+        )
+
+    def test_decide_cached_admits_over_budget_request(
+        self, movie_dataset
+    ):
+        movie_dataset.db.register_udf(
+            "MOOD", lambda review: "ok", expensive=True
+        )
+        policy = self._admission(movie_dataset.db, budget=1)
+        fresh = policy.decide("deep scan of every review")
+        assert not fresh.admit
+        cached = policy.decide("deep scan of every review", cached=True)
+        assert cached.admit
+
+    def test_cached_hit_skips_admission_budget(self, movie_dataset):
+        """A request too expensive to admit fresh is served once it is
+        in the cache: the hit costs zero, so admission prices it zero."""
+        movie_dataset.db.register_udf(
+            "MOOD", lambda review: "ok", expensive=True
+        )
+        cache = SemanticResultCache(capacity=16)
+        generous = _server(
+            movie_dataset,
+            cache=cache,
+            admission=self._admission(movie_dataset.db, budget=10_000),
+        )
+        request = "Summarize the reviews of the top romance movie"
+        warm = generous.serve([request])
+        assert warm.results[0].ok and warm.admission_rejected == 0
+
+        class _Rejecting:
+            def __call__(self, request):
+                raise AssertionError(
+                    "estimator must not run for cached requests"
+                )
+
+        strict = _server(
+            movie_dataset,
+            cache=cache,
+            admission=AdmissionPolicy(
+                estimator=_Rejecting(), max_lm_calls=0
+            ),
+        )
+        report = strict.serve([request])
+        assert report.results[0].semantic == "exact"
+        assert report.admission_rejected == 0
+
+
+class TestSemanticTracing:
+    def test_hit_trace_has_lookup_leaf(self, movie_dataset):
+        cache = SemanticResultCache(capacity=16)
+        tracer = Tracer()
+        server = _server(movie_dataset, cache=cache, tracer=tracer)
+        request = "Summarize the reviews of the top romance movie"
+        server.serve([request])
+        tracer.clear()
+        report = server.serve([request])
+        assert report.results[0].semantic == "exact"
+        roots = tracer.roots
+        assert [index for index, _ in roots] == [0]
+        root = roots[0][1]
+        leaves = [span for span in root.walk() if span is not root]
+        assert [leaf.name for leaf in leaves] == ["semcache.lookup"]
+        assert leaves[0].attrs["outcome"] == "hit"
+        assert leaves[0].attrs["via"] == "exact"
+        assert leaves[0].attrs["similarity"] == 1.0
+        assert report.results[0].result.trace is root
+
+    def test_miss_trace_has_lookup_leaf(self, movie_dataset):
+        cache = SemanticResultCache(capacity=16)
+        tracer = Tracer()
+        server = _server(movie_dataset, cache=cache, tracer=tracer)
+        report = server.serve(
+            ["Summarize the reviews of the top romance movie"]
+        )
+        assert report.results[0].semantic is None
+        root = tracer.roots[0][1]
+        first = root.children[0]
+        assert first.name == "semcache.lookup"
+        assert first.attrs["outcome"] == "miss"
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_hit_traces_worker_count_invariant(
+        self, movie_dataset, workers
+    ):
+        """All-hit replay traces are identical at any worker count:
+        every lookup resolves sequentially on the serve thread."""
+
+        def spans(n):
+            cache = SemanticResultCache(capacity=16)
+            tracer = Tracer()
+            server = _server(
+                movie_dataset, workers=n, cache=cache, tracer=tracer
+            )
+            server.serve(distinct_requests(4))
+            tracer.clear()
+            server.serve(distinct_requests(4))
+            return [
+                (index, [(s.name, s.start_s, s.end_s) for s in root.walk()])
+                for index, root in tracer.roots
+            ]
+
+        assert spans(workers) == spans(1)
+
+
+class TestSemanticServeRaceClean:
+    @pytest.mark.parametrize("workers", [1, 4, 8])
+    def test_replay_clean_with_cache_and_registry(
+        self, movie_dataset, workers
+    ):
+        checker = RaceChecker()
+        cache = SemanticResultCache(capacity=64)
+        server = _server(
+            movie_dataset,
+            workers=workers,
+            cache=cache,
+            registry=QueryRegistry(),
+        )
+        with racecheck.checking(checker):
+            warm = server.serve(distinct_requests(9))
+            hot = server.serve(distinct_requests(9))
+        assert all(r.ok for r in warm.results)
+        assert all(r.semantic == "exact" for r in hot.results)
+        report = checker.report()
+        assert report.ok, report.render()
+        assert report.threads >= workers + 1
+        assert report.events > 0
+
+
+class TestRegistryFewShot:
+    def test_examples_injected_and_worker_invariant(self):
+        """Accepted (question, SQL) entries from run one are retrieval-
+        ranked into run two's Text2SQL prompts, identically at any
+        worker count."""
+        from repro.data import load_domain
+
+        dataset = load_domain("formula_1", seed=0)
+        questions = [
+            "How many races were held on street circuits?",
+            "What is the location of the street circuit that hosted "
+            "the fewest races?",
+        ]
+
+        def run(workers):
+            registry = QueryRegistry()
+            lm = SimulatedLM(LMConfig(seed=0))
+
+            def factory(worker_lm):
+                return TAGPipeline(
+                    LMQuerySynthesizer(
+                        worker_lm, dataset, registry=registry
+                    ),
+                    SQLExecutor(dataset.db, analyze=True),
+                    NoGenerator(),
+                )
+
+            server = TagServer(
+                factory, lm, workers=workers, window=2, registry=registry
+            )
+            first = server.serve(questions)
+            second = server.serve(questions)
+            return registry.entries(), first.answers(), second.answers()
+
+        entries_1, first_1, second_1 = run(1)
+        entries_4, first_4, second_4 = run(4)
+        assert [e.question for e in entries_1] != []
+        assert entries_1 == entries_4
+        assert first_1 == first_4
+        assert second_1 == second_4
+
+    def test_registry_examples_reach_the_prompt(self):
+        from repro.data import load_domain
+
+        dataset = load_domain("formula_1", seed=0)
+        registry = QueryRegistry()
+        registry.record(
+            "How many races were held on street circuits?",
+            "SELECT COUNT(*) FROM races",
+        )
+        seen = []
+
+        class _SpyLM:
+            def complete(self, prompt, max_tokens=256):
+                seen.append(prompt)
+                return SimulatedLM(LMConfig(seed=0)).complete(
+                    prompt, max_tokens=max_tokens
+                )
+
+        synthesizer = LMQuerySynthesizer(
+            _SpyLM(), dataset, registry=registry
+        )
+        synthesizer.synthesize("How many races were held on a street circuit?")
+        assert len(seen) == 1
+        assert (
+            "-- Example Question: How many races were held on street "
+            "circuits?" in seen[0]
+        )
+        assert "-- Example SQL: SELECT COUNT(*) FROM races" in seen[0]

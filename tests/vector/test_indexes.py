@@ -130,3 +130,59 @@ class TestIVFIndex:
             IVFIndex(0, n_clusters=4)
         with pytest.raises(ReproError):
             IVFIndex(8, n_clusters=0)
+
+
+class TestIVFRetrain:
+    """Regression tests for the retrain-strands-vectors bug.
+
+    ``train()`` used to reset the inverted lists without rebuilding the
+    assignments of already-stored vectors: after a retrain the index
+    still reported its old ``len()`` but no probe could ever return the
+    stored rows.
+    """
+
+    def test_retrain_keeps_stored_vectors_reachable(self, corpus):
+        index = IVFIndex(32, n_clusters=4, nprobe=4, seed=0)
+        index.train(corpus[:100])
+        index.add(corpus[:100])
+        # Retrain on a fresh sample — the pre-fix code left all 100
+        # stored vectors stranded outside every inverted list.
+        index.train(corpus[100:])
+        assert len(index) == 100
+        ids, scores = index.search(corpus[17], 1)
+        assert len(ids) == 1
+        assert ids[0] == 17
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_retrain_with_full_probe_matches_flat(self, corpus):
+        flat = FlatIndex(32)
+        flat.add(corpus)
+        index = IVFIndex(32, n_clusters=5, nprobe=5, seed=1)
+        index.train(corpus)
+        index.add(corpus)
+        index.train(corpus[::-1].copy())
+        for row in range(0, 200, 25):
+            true_ids, _ = flat.search(corpus[row], 5)
+            got_ids, _ = index.search(corpus[row], 5)
+            assert set(got_ids.tolist()) == set(true_ids.tolist())
+
+    def test_retrain_assignments_consistent_with_lists(self, corpus):
+        index = IVFIndex(32, n_clusters=4, nprobe=1, seed=2)
+        index.train(corpus[:50])
+        index.add(corpus[:60])
+        index.train(corpus[50:150])
+        listed = sorted(
+            row for rows in index._lists for row in rows
+        )
+        assert listed == list(range(60))
+        for cluster, rows in enumerate(index._lists):
+            for row in rows:
+                assert index._assignments[row] == cluster
+
+    def test_retrain_empty_index_unchanged(self, corpus):
+        index = IVFIndex(32, n_clusters=4, nprobe=2, seed=0)
+        index.train(corpus[:50])
+        index.train(corpus[50:100])
+        assert len(index) == 0
+        ids, _ = index.search(corpus[0], 3)
+        assert len(ids) == 0
