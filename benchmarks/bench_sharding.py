@@ -1,0 +1,146 @@
+"""E21 — sharded scan+UDF execution: shard-count x fault-rate sweep.
+
+Partitioned tables run their scan, cheap filters, and batched-UDF
+morsels as per-shard pipelines on threads; concurrent shards' morsels
+meet at the :class:`~repro.serve.BatchingLM` flush barrier and coalesce
+into bigger accelerator batches, which amortize the per-batch overhead
+and raise effective parallelism toward the latency model's
+``max_parallel``.  The accelerator makespan — the serving layer's
+:class:`~repro.serve.clock.VirtualClock` — is the ET metric, exactly as
+in the serving experiments.
+
+Fault axis.  The sweep injects ``latency_spike`` faults (a pure hash of
+``(seed, prompt, attempt)``, so the schedule is identical at every
+shard and worker count).  Error-kind faults are E14's axis and are
+deliberately not swept here: a would-error prompt rejects its whole
+micro-batch by the :class:`~repro.lm.faults.FaultyLM` batch contract,
+and the replay de-batches the flush — a blast-radius effect whose cost
+grows with batch size and would swamp the scheduling comparison this
+experiment isolates.
+
+Headline acceptance: >= 3x makespan speedup at 8 shards vs 1 shard at
+a fixed fault rate, with byte-identical result rows, row order, and
+invariant Usage counters (calls, tokens, cache and fault counters)
+across every (shards, workers) cell.
+
+Smoke mode: set ``REPRO_SMOKE=1`` to shrink the sweep for CI-style
+verification runs (``make verify``).
+"""
+
+import os
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.lm import SimulatedLM, register_llm_judge
+from repro.lm.faults import FaultPlan, FaultyLM
+from repro.serve.batching import BatchingLM
+from repro.serve.clock import VirtualClock
+
+from benchmarks.conftest import write_artifact
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+ROWS = 64 if SMOKE else 320
+#: (shards, workers) cells; shard 1 / worker 1 is the baseline.
+CELLS = ((1, 1), (8, 8)) if SMOKE else ((1, 1), (2, 2), (4, 4), (8, 8))
+FAULT_RATES = (0.0, 0.1) if SMOKE else (0.0, 0.1, 0.25)
+#: Flush window larger than any coalesced wave, so micro-batch size is
+#: limited by what the shards submit, not by the scheduler cap.
+WINDOW = 64
+UDF_BATCH = 8
+
+SQL = "SELECT s, LLM('a positive review', s) AS judged FROM t ORDER BY n"
+
+#: Usage fields that must be byte-identical across cells at a fixed
+#: fault rate.  ``batches``/``simulated_seconds`` are excluded by
+#: design: coalesced flushes ARE the speedup being measured.
+INVARIANT = (
+    "calls",
+    "prompt_tokens",
+    "output_tokens",
+    "udf_cache_hits",
+    "udf_cache_misses",
+    "faults_injected",
+)
+
+
+def _run(shards: int, workers: int, fault_rate: float):
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("n", DataType.INTEGER),
+                Column("s", DataType.TEXT),
+            ],
+        )
+    )
+    db.insert("t", [(i, f"review text #{i}") for i in range(ROWS)])
+    clock = VirtualClock()
+    plan = FaultPlan(seed=7, latency_spike_rate=fault_rate)
+    lm = BatchingLM(FaultyLM(SimulatedLM(), plan), window=WINDOW, clock=clock)
+    register_llm_judge(db, lm)
+    db.set_partitioning("t", "n", shards=shards)
+    db.configure_sharding(workers=workers, lm=lm)
+    result = db.execute(SQL, udf_batch_size=UDF_BATCH)
+    usage = lm.usage
+    return (
+        result.rows,
+        clock.now(),
+        {name: getattr(usage, name) for name in INVARIANT},
+    )
+
+
+def _sweep():
+    return {
+        (shards, workers, rate): _run(shards, workers, rate)
+        for rate in FAULT_RATES
+        for shards, workers in CELLS
+    }
+
+
+def _render(runs) -> str:
+    lines = [
+        f"E21: sharded scan+UDF execution, {ROWS} rows, "
+        f"udf_batch_size={UDF_BATCH}, window={WINDOW}",
+        f"query: {SQL}",
+        "",
+        "  fault  shards  workers  makespan-s  speedup  calls  faults",
+    ]
+    for (shards, workers, rate), (_, makespan, usage) in runs.items():
+        baseline = runs[(*CELLS[0], rate)][1]
+        lines.append(
+            f"  {rate:5.2f}  {shards:6d}  {workers:7d}"
+            f"  {makespan:10.3f}  {baseline / makespan:6.2f}x"
+            f"  {usage['calls']:5d}  {usage['faults_injected']:6d}"
+        )
+    return "\n".join(lines)
+
+
+def test_shard_x_fault_sweep(benchmark):
+    """Acceptance: every cell returns byte-identical rows and invariant
+    counters; 8 shards are >= 3x faster than 1 at every fault rate."""
+    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact("sharding.txt", _render(runs))
+
+    for rate in FAULT_RATES:
+        base_rows, base_makespan, base_usage = runs[(*CELLS[0], rate)]
+        for shards, workers in CELLS[1:]:
+            rows, makespan, usage = runs[(shards, workers, rate)]
+            assert rows == base_rows, (shards, workers, rate)
+            assert usage == base_usage, (shards, workers, rate)
+        top_makespan = runs[(*CELLS[-1], rate)][1]
+        assert base_makespan / top_makespan >= 3.0
+
+    # The fault schedule is pure in (seed, prompt, attempt): raising
+    # the rate injects strictly more spikes, never different rows.
+    healthy_rows = runs[(*CELLS[0], FAULT_RATES[0])][0]
+    for rate in FAULT_RATES[1:]:
+        assert runs[(*CELLS[0], rate)][0] == healthy_rows
+        assert runs[(*CELLS[0], rate)][2]["faults_injected"] > 0
+
+
+@pytest.mark.skipif(SMOKE, reason="full sweep only")
+def test_sweep_is_deterministic(benchmark):
+    first = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert _render(first) == _render(_sweep())

@@ -89,6 +89,8 @@ SHARED_ROOTS = (
     "Tracer",
     "SemanticResultCache",
     "QueryRegistry",
+    "ShardDedup",
+    "Exchange",
 )
 
 #: Method names that mutate their receiver in place.
